@@ -1,0 +1,116 @@
+package iterskew_test
+
+import (
+	"testing"
+
+	"iterskew"
+)
+
+// TestPublicAPIEndToEnd exercises the facade exactly as README's quickstart
+// does.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	profile, err := iterskew.SuperblueProfile("superblue18", 0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := iterskew.GenerateBenchmark(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := iterskew.RunFlow(design, iterskew.FlowConfig{Method: iterskew.Ours})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Final.TNSLate <= report.Input.TNSLate {
+		t.Errorf("no late improvement: %v -> %v", report.Input.TNSLate, report.Final.TNSLate)
+	}
+	if len(report.ConstraintErrs) != 0 {
+		t.Errorf("constraint violations: %v", report.ConstraintErrs)
+	}
+}
+
+// TestPublicAPIManualDesign builds a netlist by hand through the facade,
+// schedules it, and realizes the schedule — the holdfix example's skeleton.
+func TestPublicAPIManualDesign(t *testing.T) {
+	lib := iterskew.StdLib()
+	d := iterskew.NewDesign("manual", 2000)
+	d.Die = iterskew.RectOf(iterskew.Pt(0, 0), iterskew.Pt(8000, 8000))
+	d.MaxDisp = 400
+
+	root := d.AddCell("root", lib.Get("CLKROOT"), iterskew.Pt(4000, 4000))
+	l1 := d.AddCell("l1", lib.Get("LCB"), iterskew.Pt(4000, 4000))
+	l2 := d.AddCell("l2", lib.Get("LCB"), iterskew.Pt(4000, 7000))
+	ffA := d.AddCell("ffA", lib.Get("DFF"), iterskew.Pt(4000, 4100))
+	ffB := d.AddCell("ffB", lib.Get("DFF"), iterskew.Pt(4100, 4100))
+	g := d.AddCell("g", lib.Get("INV"), iterskew.Pt(4050, 4100))
+	d.Connect("n1", d.FFQ(ffA), d.Cells[g].Pins[0])
+	d.Connect("n2", d.OutPin(g), d.FFData(ffB))
+	cr := d.Connect("cr", d.OutPin(root), d.LCBIn(l1), d.LCBIn(l2))
+	d.Nets[cr].IsClock = true
+	c1 := d.Connect("c1", d.LCBOut(l1), d.FFClock(ffA))
+	d.Nets[c1].IsClock = true
+	c2 := d.Connect("c2", d.LCBOut(l2), d.FFClock(ffB))
+	d.Nets[c2].IsClock = true
+
+	if errs := iterskew.CheckConstraints(d); len(errs) != 0 {
+		t.Fatal(errs)
+	}
+	tm, err := iterskew.NewTimer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := iterskew.Measure(tm)
+	if before.WNSEarly >= 0 {
+		t.Fatal("expected a hold violation")
+	}
+
+	res := iterskew.ScheduleSkew(tm, iterskew.ScheduleOptions{Mode: iterskew.Early})
+	mid := iterskew.Measure(tm)
+	if mid.WNSEarly < -1e-6 {
+		t.Errorf("CSS did not clear the hold violation predictively: %v", mid.WNSEarly)
+	}
+	if res.Target[ffA] <= 0 {
+		t.Error("no target latency for the launch FF")
+	}
+
+	iterskew.Optimize(tm, res.Target, iterskew.OptimizeOptions{})
+	after := iterskew.Measure(tm)
+	if after.WNSEarly <= before.WNSEarly {
+		t.Errorf("physical realization did not improve: %v -> %v", before.WNSEarly, after.WNSEarly)
+	}
+	if tm.ExtraLatency(ffA) != 0 {
+		t.Error("predictive latency left after Optimize")
+	}
+}
+
+// TestBaselineFacades runs the two baseline schedulers through the facade.
+func TestBaselineFacades(t *testing.T) {
+	profile, err := iterskew.SuperblueProfile("superblue18", 0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := iterskew.GenerateBenchmark(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d1 := design.Clone()
+	tm1, err := iterskew.NewTimer(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	icRes := iterskew.ScheduleICCSS(tm1, iterskew.ICCSSOptions{Mode: iterskew.Early})
+	if icRes.EdgesExtracted == 0 {
+		t.Error("IC-CSS+ extracted nothing")
+	}
+
+	d2 := design.Clone()
+	tm2, err := iterskew.NewTimer(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpmRes := iterskew.ScheduleFPM(tm2, iterskew.FPMOptions{})
+	if fpmRes.EdgesExtracted == 0 {
+		t.Error("FPM extracted nothing")
+	}
+}

@@ -1,0 +1,67 @@
+// Command iterplot regenerates Fig 8 of the paper: the iterative slack
+// trajectory of the algorithm on superblue18 — early CSS iterations, early
+// physical optimization, late CSS iterations, late optimization — printed as
+// a TSV series (phase, step, WNS, TNS) ready for plotting.
+//
+//	go run ./cmd/iterplot
+//	go run ./cmd/iterplot -design superblue5 -scale 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iterskew"
+)
+
+func main() {
+	design := flag.String("design", "superblue18", "benchmark to trace (Fig 8 uses superblue18)")
+	scale := flag.Float64("scale", 0.01, "linear shrink on contest flip-flop counts")
+	flag.Parse()
+
+	p, err := iterskew.SuperblueProfile(*design, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	d, err := iterskew.GenerateBenchmark(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	rep, err := iterskew.RunFlow(d, iterskew.FlowConfig{Method: iterskew.Ours})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("# Fig 8 reproduction: %s (scale %g), method Ours\n", *design, *scale)
+	fmt.Printf("# input : %s\n", rep.Input)
+	fmt.Printf("# final : %s\n", rep.Final)
+	fmt.Printf("%-12s %5s %6s %12s %14s\n", "phase", "step", "mode", "WNS(ps)", "TNS(ps)")
+	for _, pt := range rep.Trajectory {
+		fmt.Printf("%-12s %5d %6s %12.2f %14.2f\n", pt.Phase, pt.Step, pt.Mode, pt.WNS, pt.TNS)
+	}
+
+	// ASCII sketch of the mode-specific TNS per phase, Fig-8 style.
+	fmt.Println("\n# TNS trajectory (phase-mode series, normalized bars)")
+	var worst float64
+	for _, pt := range rep.Trajectory {
+		if pt.TNS < worst {
+			worst = pt.TNS
+		}
+	}
+	if worst == 0 {
+		worst = -1
+	}
+	for _, pt := range rep.Trajectory {
+		n := int(pt.TNS / worst * 50)
+		bar := make([]byte, n)
+		for i := range bar {
+			bar[i] = '#'
+		}
+		fmt.Printf("%-12s %-6s |%s (%.1f)\n", pt.Phase, pt.Mode, bar, pt.TNS)
+	}
+}

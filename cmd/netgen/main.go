@@ -1,0 +1,83 @@
+// Command netgen generates a synthetic benchmark and either prints its
+// statistics or writes it to a netlist file in the library's text format
+// (see internal/netio).
+//
+//	go run ./cmd/netgen -design superblue18 -scale 0.01 -out sb18.net
+//	go run ./cmd/netgen -ffs 500 -seed 7 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iterskew"
+	"iterskew/internal/bench"
+	"iterskew/internal/netio"
+	"iterskew/internal/viz"
+)
+
+func main() {
+	design := flag.String("design", "", "superblue profile name (empty: custom profile from -ffs)")
+	scale := flag.Float64("scale", 0.01, "linear shrink for superblue profiles")
+	ffs := flag.Int("ffs", 1000, "flip-flop count for custom profiles")
+	seed := flag.Int64("seed", 1, "generator seed for custom profiles")
+	out := flag.String("out", "", "output netlist file (empty: stats only)")
+	svg := flag.String("svg", "", "also render an SVG view to this file")
+	flag.Parse()
+
+	var p iterskew.Profile
+	var err error
+	if *design != "" {
+		p, err = iterskew.SuperblueProfile(*design, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		p = bench.Profile{Name: fmt.Sprintf("custom-%d", *ffs), FFs: *ffs, Seed: *seed}
+	}
+
+	d, err := iterskew.GenerateBenchmark(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	tm, err := iterskew.NewTimer(d)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %v\n", d.Name, d.Stats())
+	fmt.Printf("period=%.0fps portLatency=%.0fps die=%v\n", d.Period, d.PortLatency, d.Die)
+	fmt.Printf("input timing: %v\n", iterskew.Measure(tm))
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := netio.Write(f, d); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *svg != "" {
+		f, err := os.Create(*svg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := viz.Render(f, tm, viz.Options{}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *svg)
+	}
+}

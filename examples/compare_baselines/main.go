@@ -1,0 +1,43 @@
+// Compare_baselines runs all four methods of the paper's Table I on one
+// benchmark from the same input solution and prints a compact comparison —
+// the quality tie between IC-CSS+ and the iterative algorithm, FPM's
+// residual early violations, and the extraction-volume contrast.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iterskew"
+)
+
+func main() {
+	profile, err := iterskew.SuperblueProfile("superblue16", 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := iterskew.GenerateBenchmark(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design %s: %v (period %.0f ps)\n\n", d.Name, d.Stats(), d.Period)
+	fmt.Printf("%-11s | %9s %11s | %10s %12s | %9s %9s | %8s\n",
+		"method", "E-WNS", "E-TNS", "L-WNS", "L-TNS", "CSS", "OPT", "#edges")
+
+	for _, m := range []iterskew.Method{
+		iterskew.Baseline, iterskew.FPM, iterskew.OursEarly, iterskew.ICCSSPlus, iterskew.Ours,
+	} {
+		rep, err := iterskew.RunFlow(d, iterskew.FlowConfig{Method: m})
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := rep.Final
+		fmt.Printf("%-11s | %9.1f %11.1f | %10.1f %12.1f | %9s %9s | %8d\n",
+			m, f.WNSEarly, f.TNSEarly, f.WNSLate, f.TNSLate,
+			rep.CSSTime.Round(10e3), rep.OptTime.Round(10e3), rep.ExtractedEdges)
+	}
+
+	fmt.Println("\nExpected shape (Table I): FPM leaves residual early WNS; Ours-Early")
+	fmt.Println("and the full flows clear it; IC-CSS+ matches Ours on slack but")
+	fmt.Println("extracts ~10x the sequential edges and spends far longer in CSS.")
+}

@@ -1,0 +1,84 @@
+// Cts_guide demonstrates the paper's future-work direction: using the fast
+// iterative CSS schedule to guide clock tree synthesis. It compares three
+// ways of consuming the same schedule on one benchmark:
+//
+//  1. nothing (drop the schedule),
+//  2. the §IV incremental ECO (LCB–FF reconnection + cell movement),
+//  3. full schedule-guided re-clustering of the clock tree (GuideClockTree).
+//
+// It also shows the timing-report API: worst-path breakdowns and a slack
+// histogram before and after.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iterskew"
+)
+
+func main() {
+	profile, err := iterskew.SuperblueProfile("superblue5", 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	input, err := iterskew.GenerateBenchmark(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design %s: %v (period %.0f ps)\n\n", input.Name, input.Stats(), input.Period)
+
+	type outcome struct {
+		name     string
+		tnsLate  float64
+		wnsLate  float64
+		hpwlIncr float64
+	}
+	var results []outcome
+
+	run := func(name string, realize func(tm *iterskew.Timer, targets map[iterskew.CellID]float64)) {
+		d := input.Clone()
+		tm, err := iterskew.NewTimer(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := iterskew.ScheduleSkew(tm, iterskew.ScheduleOptions{Mode: iterskew.Late})
+		realize(tm, res.Target)
+		m := iterskew.Measure(tm)
+		results = append(results, outcome{name, m.TNSLate, m.WNSLate,
+			(m.HPWL - input.HPWL()) / input.HPWL() * 100})
+	}
+
+	run("unrealized", func(tm *iterskew.Timer, targets map[iterskew.CellID]float64) {
+		for ff := range targets {
+			tm.SetExtraLatency(ff, 0)
+		}
+		tm.Update()
+	})
+	run("ECO (§IV)", func(tm *iterskew.Timer, targets map[iterskew.CellID]float64) {
+		iterskew.Optimize(tm, targets, iterskew.OptimizeOptions{})
+	})
+	run("CTS-guided", func(tm *iterskew.Timer, targets map[iterskew.CellID]float64) {
+		g := iterskew.GuideClockTree(tm, targets, iterskew.CTSOptions{})
+		fmt.Printf("CTS guidance: %d flip-flops re-clustered, schedule error %.0f -> %.0f ps\n\n",
+			g.Moved, g.ErrAbsIn, g.ErrAbs)
+	})
+
+	fmt.Printf("%-12s | %10s %12s | %8s\n", "realization", "L-WNS(ps)", "L-TNS(ps)", "HPWL%")
+	for _, r := range results {
+		fmt.Printf("%-12s | %10.1f %12.1f | %8.3f\n", r.name, r.wnsLate, r.tnsLate, r.hpwlIncr)
+	}
+
+	// Timing-report tour on the final (CTS-guided) design.
+	d := input.Clone()
+	tm, _ := iterskew.NewTimer(d)
+	res := iterskew.ScheduleSkew(tm, iterskew.ScheduleOptions{Mode: iterskew.Late})
+	iterskew.GuideClockTree(tm, res.Target, iterskew.CTSOptions{})
+
+	fmt.Println("\nWorst remaining late path:")
+	for _, r := range tm.WorstPaths(iterskew.Late, 1) {
+		fmt.Print(r.Format())
+	}
+	fmt.Println("\nLate slack histogram (100 ps bins):")
+	fmt.Print(tm.SlackHistogram(iterskew.Late, 100))
+}

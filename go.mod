@@ -1,0 +1,3 @@
+module iterskew
+
+go 1.22

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"testing"
+
+	"iterskew/internal/delay"
+	"iterskew/internal/netlist"
+	"iterskew/internal/timing"
+)
+
+func TestSuperblueProfiles(t *testing.T) {
+	for _, name := range SuperblueNames() {
+		p, err := Superblue(name, 0.01)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.FFs < 500 || p.LCBs < 20 {
+			t.Errorf("%s: implausible scaled profile %+v", name, p)
+		}
+		// Contest ratio: ≈20 FFs per LCB.
+		ratio := float64(p.FFs) / float64(p.LCBs)
+		if ratio < 15 || ratio > 25 {
+			t.Errorf("%s: FF/LCB ratio %v out of contest range", name, ratio)
+		}
+	}
+	if _, err := Superblue("superblue99", 0.01); err == nil {
+		t.Error("unknown design accepted")
+	}
+}
+
+func TestGenerateValidAndSized(t *testing.T) {
+	p, _ := Superblue("superblue18", 0.01)
+	d, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.FFs != p.FFs {
+		t.Errorf("FFs = %d, want %d", s.FFs, p.FFs)
+	}
+	if s.LCBs != p.LCBs {
+		t.Errorf("LCBs = %d, want %d", s.LCBs, p.LCBs)
+	}
+	comb := s.Cells - s.FFs - s.LCBs - s.InPorts - s.OutPorts - 1
+	perFF := float64(comb) / float64(s.FFs)
+	if perFF < p.CombPerFF*0.5 || perFF > p.CombPerFF*3 {
+		t.Errorf("comb/FF = %v, want near %v", perFF, p.CombPerFF)
+	}
+	if d.Period <= 0 {
+		t.Error("period not calibrated")
+	}
+	if d.PortLatency <= 0 {
+		t.Error("port latency not set")
+	}
+	// LCB fanout cap.
+	for _, l := range d.LCBs {
+		if f := d.LCBFanout(l); f > d.LCBMaxFanout {
+			t.Errorf("LCB fanout %d > %d", f, d.LCBMaxFanout)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := Superblue("superblue18", 0.005)
+	d1, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Stats() != d2.Stats() {
+		t.Errorf("stats differ: %v vs %v", d1.Stats(), d2.Stats())
+	}
+	if d1.HPWL() != d2.HPWL() {
+		t.Errorf("HPWL differs: %v vs %v", d1.HPWL(), d2.HPWL())
+	}
+	if d1.Period != d2.Period {
+		t.Errorf("period differs: %v vs %v", d1.Period, d2.Period)
+	}
+}
+
+func TestGenerateViolationProfile(t *testing.T) {
+	p, _ := Superblue("superblue18", 0.01)
+	d, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := timing.New(d, delay.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := tm.ViolatedEndpoints(timing.Late, nil)
+	early := tm.ViolatedEndpoints(timing.Early, nil)
+	total := len(tm.Endpoints())
+
+	// The period calibration aims at ≈5% setup violations.
+	frac := float64(len(late)) / float64(total)
+	if frac < 0.02 || frac > 0.20 {
+		t.Errorf("late violation fraction %v out of range", frac)
+	}
+	// Some skew-induced hold violations exist.
+	if len(early) == 0 {
+		t.Error("no early violations generated")
+	}
+	// Hold violations are on the ps scale of Table I (not hundreds).
+	wnsE, _ := tm.WNSTNS(timing.Early)
+	if wnsE < -400 {
+		t.Errorf("early WNS %v implausibly large", wnsE)
+	}
+}
+
+func TestGenerateTooSmall(t *testing.T) {
+	if _, err := Generate(Profile{Name: "x", FFs: 1}); err == nil {
+		t.Error("accepted degenerate profile")
+	}
+	// FFs exceeding LCB capacity must error.
+	if _, err := Generate(Profile{Name: "x", FFs: 1000, LCBs: 2}); err == nil {
+		t.Error("accepted over-capacity profile")
+	}
+}
+
+func TestSolveHoldRimMonotone(t *testing.T) {
+	// A larger target violation needs a larger rim radius.
+	lib := netlist.StdLib()
+	m := delay.Default()
+	r20 := solveHoldRim(m, lib, 20)
+	r80 := solveHoldRim(m, lib, 80)
+	if r20 <= 0 || r80 <= r20 {
+		t.Errorf("rim radii not monotone: %v, %v", r20, r80)
+	}
+}

@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"iterskew/internal/delay"
+	"iterskew/internal/geom"
+	"iterskew/internal/netlist"
+	"iterskew/internal/timing"
+)
+
+// Structured benchmark families complementing the superblue-style random
+// profiles: regular datapath topologies whose sequential graphs have known
+// shapes. Rings exercise the §III-B2 cycle handling (their sequential graph
+// IS a cycle); systolic arrays produce dense 2-D grids of short FF-to-FF
+// edges; reduction trees produce deep fan-in cones.
+
+// StructOptions configures a structured benchmark.
+type StructOptions struct {
+	// GatesPerStage is the combinational depth of each register stage
+	// (default 6).
+	GatesPerStage int
+	// SlowStages marks these stage indices as 40% over the period budget
+	// (creates cycle-limited violations on rings).
+	SlowStages []int
+	// Period is the clock period in ps; 0 auto-calibrates like Generate.
+	Period float64
+	// Seed drives placement jitter and gate-type choice.
+	Seed int64
+}
+
+func (o *StructOptions) defaults() {
+	if o.GatesPerStage == 0 {
+		o.GatesPerStage = 6
+	}
+}
+
+// structuredBuilder shares the placement/clock scaffolding for the
+// structured families.
+type structuredBuilder struct {
+	d    *netlist.Design
+	lib  *netlist.Library
+	rng  *rand.Rand
+	b    *builder
+	lcbs []netlist.CellID
+	ffN  int
+}
+
+func newStructured(name string, nFF int, o StructOptions) *structuredBuilder {
+	o.defaults()
+	lib := netlist.StdLib()
+	d := netlist.NewDesign(name, o.Period)
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	total := float64(nFF) * float64(o.GatesPerStage+2)
+	side := (math.Ceil(math.Sqrt(total)) + 4) * pitch * 1.4
+	d.Die = geom.RectOf(geom.Pt(0, 0), geom.Pt(side, side))
+	d.MaxDisp = 40 * pitch
+	d.LCBMaxFanout = 50
+
+	s := &structuredBuilder{d: d, lib: lib, rng: rng}
+	s.b = &builder{d: d, rng: rng, lib: lib, m: delay.Default()}
+	s.b.refTarget = s.b.estimate(side/8, o.GatesPerStage)
+
+	root := d.AddCell("clkroot", lib.Get("CLKROOT"), d.Die.Center())
+	nLCB := (nFF + d.LCBMaxFanout - 1) / d.LCBMaxFanout
+	if nLCB < 2 {
+		nLCB = 2
+	}
+	grid := 1
+	for grid*grid < nLCB {
+		grid++
+	}
+	var lcbIns []netlist.PinID
+	for i := 0; i < nLCB; i++ {
+		gx, gy := i%grid, i/grid
+		pos := geom.Pt((float64(gx)+0.5)*side/float64(grid), (float64(gy)+0.5)*side/float64(grid))
+		lcb := d.AddCell(fmt.Sprintf("lcb%d", i), lib.Get("LCB"), pos)
+		s.lcbs = append(s.lcbs, lcb)
+		lcbIns = append(lcbIns, d.LCBIn(lcb))
+	}
+	cn := d.Connect("clk_root", d.OutPin(root), lcbIns...)
+	d.Nets[cn].IsClock = true
+	for i, l := range s.lcbs {
+		cl := d.Connect(fmt.Sprintf("clk_l%d", i), d.LCBOut(l))
+		d.Nets[cl].IsClock = true
+	}
+	return s
+}
+
+// addFF places a flip-flop at pos and clocks it from the nearest LCB with
+// capacity.
+func (s *structuredBuilder) addFF(pos geom.Point) netlist.CellID {
+	d := s.d
+	pos = d.Die.Clamp(pos)
+	ff := d.AddCell(fmt.Sprintf("ff%d", s.ffN), s.lib.Get("DFF"), pos)
+	s.ffN++
+	best := netlist.NoCell
+	bestD := 0.0
+	for _, l := range s.lcbs {
+		if d.LCBFanout(l) >= d.LCBMaxFanout {
+			continue
+		}
+		dd := pos.Manhattan(d.Cells[l].Pos)
+		if best == netlist.NoCell || dd < bestD {
+			best, bestD = l, dd
+		}
+	}
+	if best == netlist.NoCell {
+		best = s.lcbs[0]
+	}
+	d.AddSink(d.Pins[d.LCBOut(best)].Net, d.FFClock(ff))
+	return ff
+}
+
+// finish calibrates the period (if unset) from measured arrivals — the
+// median per-endpoint critical period plus 15% margin, so balanced designs
+// are clean and deliberately slow stages violate — and validates.
+func (s *structuredBuilder) finish(o StructOptions) (*netlist.Design, error) {
+	d := s.d
+	d.PortLatency = nominalInsertion(d, s.lcbs)
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: structured design invalid: %w", err)
+	}
+	if d.Period == 0 {
+		tm, err := timing.New(d, delay.Default())
+		if err != nil {
+			return nil, fmt.Errorf("bench: calibration timer: %w", err)
+		}
+		var tcrit []float64
+		for _, ff := range d.FFs {
+			at := tm.ArrivalMax(d.FFData(ff))
+			if math.IsInf(at, 0) {
+				continue
+			}
+			tcrit = append(tcrit, at-tm.Latency(ff)+d.Cells[ff].Type.Setup)
+		}
+		if len(tcrit) == 0 {
+			return nil, fmt.Errorf("bench: no timed endpoints")
+		}
+		sort.Float64s(tcrit)
+		d.Period = tcrit[len(tcrit)/2] * 1.15
+	}
+	return d, nil
+}
+
+// RingPipeline builds `width` independent register rings of `stages` stages
+// each. A ring's sequential graph is a directed cycle, so any slow stage
+// makes it cycle-limited: CSS can equalize but not eliminate the violation
+// (§III-B2). Rings are laid out on circles around the die center.
+func RingPipeline(stages, width int, o StructOptions) (*netlist.Design, error) {
+	if stages < 2 || width < 1 {
+		return nil, fmt.Errorf("bench: ring needs stages>=2, width>=1")
+	}
+	o.defaults()
+	s := newStructured(fmt.Sprintf("ring_%dx%d", stages, width), stages*width, o)
+	d := s.d
+	side := d.Die.Width()
+
+	slow := map[int]bool{}
+	for _, i := range o.SlowStages {
+		slow[i%stages] = true
+	}
+
+	for wi := 0; wi < width; wi++ {
+		radius := side * (0.15 + 0.3*float64(wi)/float64(maxInt(width-1, 1)))
+		var ffs []netlist.CellID
+		for st := 0; st < stages; st++ {
+			angle := 2 * math.Pi * float64(st) / float64(stages)
+			pos := d.Die.Center().Add(geom.Pt(radius*math.Cos(angle), radius*math.Sin(angle)))
+			ffs = append(ffs, s.addFF(pos))
+		}
+		for st := 0; st < stages; st++ {
+			next := ffs[(st+1)%stages]
+			depth := o.GatesPerStage
+			if slow[st] {
+				// A slow stage must overrun the ring's total positive slack
+				// (≈15% of a stage per stage) so the violation is genuinely
+				// cycle-limited rather than absorbable by skew.
+				depth = depth*(10+4*stages)/10 + 6
+			}
+			s.b.chain(d.FFQ(ffs[st]), d.Cells[ffs[st]].Pos, d.FFData(next), d.Cells[next].Pos, depth)
+		}
+	}
+	return s.finish(o)
+}
+
+// Systolic builds a rows×cols array of processing elements: each PE's
+// register captures from its west and north neighbours through a small
+// merge cone — a dense, short-edge sequential grid. Boundary PEs are fed
+// from input ports; the south-east PE drives an output port.
+func Systolic(rows, cols int, o StructOptions) (*netlist.Design, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("bench: systolic needs rows, cols >= 2")
+	}
+	o.defaults()
+	s := newStructured(fmt.Sprintf("systolic_%dx%d", rows, cols), rows*cols, o)
+	d := s.d
+	side := d.Die.Width()
+
+	pe := make([][]netlist.CellID, rows)
+	for r := range pe {
+		pe[r] = make([]netlist.CellID, cols)
+		for c := range pe[r] {
+			pos := geom.Pt(side*(0.1+0.8*float64(c)/float64(cols-1)), side*(0.1+0.8*float64(r)/float64(rows-1)))
+			pe[r][c] = s.addFF(pos)
+		}
+	}
+	in := d.AddCell("in", s.lib.Get("PORTIN"), geom.Pt(0, 0))
+	out := d.AddCell("out", s.lib.Get("PORTOUT"), geom.Pt(side, side))
+
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			dst := pe[r][c]
+			dstPos := d.Cells[dst].Pos
+			var west, north netlist.PinID
+			var westPos, northPos geom.Point
+			if c > 0 {
+				west, westPos = d.FFQ(pe[r][c-1]), d.Cells[pe[r][c-1]].Pos
+			} else {
+				west, westPos = d.OutPin(in), d.Cells[in].Pos
+			}
+			if r > 0 {
+				north, northPos = d.FFQ(pe[r-1][c]), d.Cells[pe[r-1][c]].Pos
+			} else {
+				north, northPos = d.OutPin(in), d.Cells[in].Pos
+			}
+			mg := d.AddCell("pe_mg", s.lib.Get("NAND2"), jitter(s.rng, dstPos, 2*pitch, d.Die))
+			half := o.GatesPerStage / 2
+			s.b.chain(west, westPos, d.Cells[mg].Pins[0], d.Cells[mg].Pos, maxInt(half, 1))
+			s.b.chain(north, northPos, d.Cells[mg].Pins[1], d.Cells[mg].Pos, maxInt(o.GatesPerStage-half, 1))
+			s.b.connect(d.OutPin(mg), d.FFData(dst))
+		}
+	}
+	s.b.chain(d.FFQ(pe[rows-1][cols-1]), d.Cells[pe[rows-1][cols-1]].Pos, d.Cells[out].Pins[0], d.Cells[out].Pos, 2)
+	return s.finish(o)
+}
+
+// TreeReduce builds a `depth`-level binary reduction: 2^depth leaf registers
+// feeding pairwise merge cones level by level down to one root register —
+// deep fan-in, no cycles.
+func TreeReduce(depth int, o StructOptions) (*netlist.Design, error) {
+	if depth < 1 || depth > 12 {
+		return nil, fmt.Errorf("bench: tree depth out of range")
+	}
+	o.defaults()
+	leaves := 1 << depth
+	s := newStructured(fmt.Sprintf("tree_d%d", depth), 2*leaves, o)
+	d := s.d
+	side := d.Die.Width()
+
+	level := make([]netlist.CellID, leaves)
+	for i := range level {
+		pos := geom.Pt(side*(0.05+0.9*float64(i)/float64(leaves)), side*0.1)
+		level[i] = s.addFF(pos)
+	}
+	y := 0.1
+	for len(level) > 1 {
+		y += 0.8 / float64(depth)
+		next := make([]netlist.CellID, len(level)/2)
+		for i := range next {
+			a, b := level[2*i], level[2*i+1]
+			pos := geom.Pt((d.Cells[a].Pos.X+d.Cells[b].Pos.X)/2, side*y)
+			next[i] = s.addFF(pos)
+			mg := d.AddCell("t_mg", s.lib.Get("AND2"), jitter(s.rng, pos, 2*pitch, d.Die))
+			half := maxInt(o.GatesPerStage/2, 1)
+			s.b.chain(d.FFQ(a), d.Cells[a].Pos, d.Cells[mg].Pins[0], d.Cells[mg].Pos, half)
+			s.b.chain(d.FFQ(b), d.Cells[b].Pos, d.Cells[mg].Pins[1], d.Cells[mg].Pos, half)
+			s.b.connect(d.OutPin(mg), d.FFData(next[i]))
+		}
+		level = next
+	}
+	return s.finish(o)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

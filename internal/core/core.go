@@ -1,0 +1,524 @@
+// Package core implements the paper's primary contribution: the fast
+// iterative clock skew scheduling algorithm with dynamic sequential graph
+// extraction (Alg 1).
+//
+// Each iteration:
+//
+//  1. asks the timer for the currently violated endpoints and extracts only
+//     their essential sequential edges (§III-B1, the Update-Extract
+//     Mechanism);
+//  2. builds non-negative-latency arborescences over the essential edges
+//     (§III-C2);
+//  3. on a cycle, assigns the mean-weight latencies of Eq (9) to the cycle,
+//     freezes it, and reiterates (§III-B2);
+//  4. otherwise runs the two-pass traversal (Eqs 12–14, §III-C3) to compute
+//     this iteration's latency increments, bounded by the ŝ headroom of
+//     Eq (11) — refreshed by the timer instead of extracting constraint
+//     edges — and by the user latency bounds of Eq (5);
+//  5. applies the increments as predictive latencies, re-propagates timing
+//     incrementally, and repeats until no vertex receives a new increment.
+package core
+
+import (
+	"math"
+	"time"
+
+	"iterskew/internal/netlist"
+	"iterskew/internal/seqgraph"
+	"iterskew/internal/timing"
+)
+
+const eps = 1e-6
+
+// Options configures one scheduling run.
+type Options struct {
+	// Mode selects which violation type this run optimizes (the paper's flow
+	// runs Early first, then Late; §V).
+	Mode timing.Mode
+	// MaxRounds caps the number of update-extract rounds (cycle-handling
+	// rounds included). 0 means the default of 200.
+	MaxRounds int
+	// Margin widens essential-edge extraction: edges with slack < Margin are
+	// extracted. The paper amplifies a portion of early violations for
+	// stability (§V); a small positive margin reproduces that.
+	Margin float64
+	// LatencyUB optionally bounds the scheduled (extra) latency per
+	// flip-flop from above (Eq 5). nil means unbounded.
+	LatencyUB func(ff netlist.CellID) float64
+	// LatencyLB optionally forces a minimum scheduled latency per flip-flop
+	// (the l_min of Eq 5): those latencies are applied before the first
+	// iteration and count toward the target. nil means no lower bounds.
+	LatencyLB func(ff netlist.CellID) float64
+	// DisableHeadroom removes the ŝ bound of Eq (11) — only for the
+	// ablation study; never use in real flows.
+	DisableHeadroom bool
+	// StallRounds stops the iteration after this many consecutive rounds
+	// whose TNS gain is below 0.01% of the current TNS (coupled headroom
+	// chains can otherwise crawl by epsilon-sized increments for many
+	// rounds). 0 means the default of 3; negative disables the guard.
+	StallRounds int
+}
+
+// IterStats records one iteration for the Fig-8 style trajectory.
+type IterStats struct {
+	Round     int
+	WNS, TNS  float64 // mode-specific, after applying this round's latencies
+	NewEdges  int     // essential edges added this round
+	Raised    int     // vertices that received a positive increment
+	CycleLen  int     // >0 if this round handled a cycle
+	MaxInc    float64 // largest latency increment this round
+	TimerPins int     // pins re-propagated by the incremental update
+}
+
+// Result is the outcome of a Schedule run.
+type Result struct {
+	// Target holds the scheduled latency l* per flip-flop (only entries > 0).
+	Target map[netlist.CellID]float64
+	// Rounds is the number of update-extract rounds executed (the paper's k
+	// plus cycle-handling rounds).
+	Rounds int
+	// Cycles is the number of cycles encountered and fixed.
+	Cycles int
+	// EdgesExtracted is the number of sequential edges added to the partial
+	// graph (after dedup).
+	EdgesExtracted int
+	// PerIter is the per-round trajectory.
+	PerIter []IterStats
+	// Elapsed is the wall-clock scheduling time.
+	Elapsed time.Duration
+	// Graph is the final partial sequential graph (exposed for inspection
+	// and tests).
+	Graph *seqgraph.Graph
+}
+
+// isPortCell reports whether a cell is an I/O supernode.
+func isPortCell(d *netlist.Design, c netlist.CellID) bool {
+	k := d.Cells[c].Type.Kind
+	return k == netlist.KindPortIn || k == netlist.KindPortOut
+}
+
+// Schedule runs Alg 1 on the timer's design and returns the target
+// latencies. The computed latencies are left applied on the timer as
+// predictive (extra) latencies; callers that only want the schedule can
+// remove them afterwards.
+func Schedule(tm *timing.Timer, opts Options) *Result {
+	start := time.Now()
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 200
+	}
+	d := tm.D
+	g := seqgraph.New()
+	isPort := func(c netlist.CellID) bool { return isPortCell(d, c) }
+
+	res := &Result{Target: map[netlist.CellID]float64{}, Graph: g}
+
+	// lastExtract records the endpoint slack at the time of its last
+	// extraction, so unchanged endpoints are skipped ("newly violated
+	// timing endpoints", §III-B1).
+	lastExtract := map[timing.EndpointID]float64{}
+
+	var violBuf []timing.EndpointID
+	var edgeBuf []timing.SeqEdge
+
+	extract := func(force bool) int {
+		if opts.Margin > 0 {
+			// §V amplification: treat endpoints within the margin as
+			// violated, so near-critical edges (e.g. the remaining arcs of
+			// an almost-closed cycle) are extracted too.
+			violBuf = violBuf[:0]
+			for e := range tm.Endpoints() {
+				if tm.Slack(timing.EndpointID(e), opts.Mode) < opts.Margin-eps {
+					violBuf = append(violBuf, timing.EndpointID(e))
+				}
+			}
+		} else {
+			violBuf = tm.ViolatedEndpoints(opts.Mode, violBuf[:0])
+		}
+		added := 0
+		for _, e := range violBuf {
+			s := tm.Slack(e, opts.Mode)
+			if prev, ok := lastExtract[e]; ok && !force && math.Abs(prev-s) <= eps {
+				continue
+			}
+			edgeBuf = tm.ExtractEssentialAt(e, opts.Mode, opts.Margin, edgeBuf[:0])
+			for _, se := range edgeBuf {
+				if _, isNew := g.AddSeqEdge(se, isPort); isNew {
+					added++
+				}
+			}
+			lastExtract[e] = s
+		}
+		return added
+	}
+
+	// Eq-5 lower bounds: pre-apply the mandated minimum latencies so the
+	// iteration (which only ever raises) starts from a feasible point.
+	if opts.LatencyLB != nil {
+		applied := false
+		for _, ff := range d.FFs {
+			if lb := opts.LatencyLB(ff); lb > eps {
+				tm.AddExtraLatency(ff, lb)
+				res.Target[ff] += lb
+				applied = true
+			}
+		}
+		if applied {
+			tm.Update()
+		}
+	}
+
+	if opts.StallRounds == 0 {
+		opts.StallRounds = 3
+	}
+	_, prevTNS := tm.WNSTNS(opts.Mode)
+	stall := 0
+
+	finalSweepDone := false
+	for round := 0; round < opts.MaxRounds; round++ {
+		newEdges := extract(false)
+
+		// Current weights (Eq 10 realized by re-evaluating Eq 1–2 under the
+		// present latencies).
+		w := make([]float64, len(g.Edges))
+		for i := range g.Edges {
+			w[i] = tm.EdgeSlack(g.Edges[i].Seq)
+		}
+		// The working edge set keeps just-fixed (zero-slack) edges — they
+		// are what lets arborescence construction recognize a cycle whose
+		// edges were zeroed one at a time in earlier rounds (§III-B2) — and,
+		// under a positive Margin, the near-critical band as well, so an
+		// almost-closed cycle is recognized before the iteration crawls
+		// into it. Slacks beyond the band drop out.
+		essential := func(eid int32) bool { return w[eid] < opts.Margin+eps }
+
+		forest, cyc := g.BuildForest(w, essential, math.Inf(1))
+
+		st := IterStats{Round: round, NewEdges: newEdges}
+
+		if cyc == nil {
+			// Arborescence construction only notices a cycle when its edges
+			// chain up in attachment order; a rotating violation can keep a
+			// cycle fragmented across trees indefinitely. A direct
+			// negative-mean-cycle check over the partial graph (the MMWC
+			// machinery of [8]) closes that gap: a cycle whose mean weight
+			// is negative can never be fully scheduled away (§III-B2).
+			cyc = g.NegativeMeanCycle(w, activeCycleEdges(g, essential), eps)
+		}
+
+		if cyc != nil {
+			// §III-B2: the cycle bounds the achievable improvement at its
+			// mean weight. Assign l_v = β(v)·T − α(v) along the cycle
+			// (shifted so the minimum is zero) and freeze its vertices.
+			res.Cycles++
+			st.CycleLen = len(cyc.Vertices)
+			tMean := cyc.MeanWeight(w)
+			lat := make([]float64, len(cyc.Vertices))
+			alpha := 0.0
+			minL := 0.0
+			for i := range cyc.Vertices {
+				lat[i] = float64(i)*tMean - alpha
+				if i < len(cyc.Edges) {
+					alpha += w[cyc.Edges[i]]
+				}
+				if lat[i] < minL {
+					minL = lat[i]
+				}
+			}
+			changed := false
+			for i, v := range cyc.Vertices {
+				l := lat[i] - minL
+				g.Freeze(v)
+				if l > eps && !g.IsPort[v] {
+					cell := g.Cells[v]
+					tm.AddExtraLatency(cell, l)
+					res.Target[cell] += l
+					changed = true
+					st.Raised++
+					if l > st.MaxInc {
+						st.MaxInc = l
+					}
+				}
+			}
+			st.TimerPins = tm.Update()
+			st.WNS, st.TNS = tm.WNSTNS(opts.Mode)
+			res.PerIter = append(res.PerIter, st)
+			res.Rounds = round + 1
+			_ = changed
+			continue
+		}
+
+		head := HeadroomFunc(tm, g, opts, res.Target)
+		lmax := PassOne(g, forest, w, essential, head)
+		inc, _ := PassTwo(g, forest, w, essential, lmax)
+
+		// Apply increments.
+		maxInc := 0.0
+		for v, l := range inc {
+			if l <= eps || g.Frozen[v] || g.IsPort[v] {
+				continue
+			}
+			cell := g.Cells[seqgraph.VertexID(v)]
+			tm.AddExtraLatency(cell, l)
+			res.Target[cell] += l
+			st.Raised++
+			if l > maxInc {
+				maxInc = l
+			}
+		}
+		st.MaxInc = maxInc
+		st.TimerPins = tm.Update()
+		st.WNS, st.TNS = tm.WNSTNS(opts.Mode)
+		res.PerIter = append(res.PerIter, st)
+		res.Rounds = round + 1
+
+		if opts.StallRounds > 0 {
+			gain := st.TNS - prevTNS
+			if gain < math.Max(1, 1e-4*math.Abs(st.TNS)) {
+				stall++
+				if stall >= opts.StallRounds {
+					break
+				}
+			} else {
+				stall = 0
+			}
+			prevTNS = st.TNS
+		}
+
+		if maxInc <= eps {
+			// Alg 1 line 13: no vertex received an increment. Before
+			// terminating, run one forced extraction sweep: an edge may
+			// have newly crossed zero without moving any endpoint's worst
+			// slack (so the "newly violated" filter skipped it).
+			if finalSweepDone {
+				break
+			}
+			finalSweepDone = true
+			if extra := extract(true); extra == 0 {
+				break
+			}
+			// New essential edges appeared: keep iterating.
+			continue
+		}
+		finalSweepDone = false
+	}
+
+	res.EdgesExtracted = len(g.Edges)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// activeCycleEdges restricts cycle detection to essential edges between
+// non-frozen vertices (frozen cycles have already been handled).
+func activeCycleEdges(g *seqgraph.Graph, essential func(int32) bool) func(int32) bool {
+	return func(eid int32) bool {
+		if !essential(eid) {
+			return false
+		}
+		e := &g.Edges[eid]
+		return !g.Frozen[e.From] && !g.Frozen[e.To]
+	}
+}
+
+// HeadroomFunc builds the per-vertex latency headroom of §III-C1: the
+// timer-refreshed ŝ bound of Eq (11), tightened by the user bound of Eq (5),
+// and zero for frozen vertices and ports.
+func HeadroomFunc(tm *timing.Timer, g *seqgraph.Graph, opts Options, raised map[netlist.CellID]float64) func(seqgraph.VertexID) float64 {
+	return func(v seqgraph.VertexID) float64 {
+		if g.Frozen[v] || g.IsPort[v] {
+			return 0
+		}
+		cell := g.Cells[v]
+		var h float64
+		if opts.DisableHeadroom {
+			h = math.Inf(1)
+		} else if opts.Mode == timing.Late {
+			// Raising a capture latency may create hold violations ending
+			// at this vertex: ŝ^E (Eq 11).
+			h = tm.EarlySlack(tm.EndpointOf(cell))
+		} else {
+			// Raising a launch latency may create setup violations on the
+			// paths it launches: ŝ^L via the Q-pin required time.
+			h = tm.LaunchLateSlack(cell)
+		}
+		if h < 0 {
+			h = 0
+		}
+		if opts.LatencyUB != nil {
+			ub := opts.LatencyUB(cell) - raised[cell]
+			if ub < h {
+				h = ub
+			}
+			if h < 0 {
+				h = 0
+			}
+		}
+		return h
+	}
+}
+
+// PassOne is the reverse-topological traversal of §III-C3: it computes the
+// maximum allowable latency l^max for every vertex via Eqs (12)–(13), with a
+// virtual endpoint carrying the headroom of sink vertices, and a hard cap at
+// every vertex's own headroom.
+func PassOne(g *seqgraph.Graph, f *seqgraph.Forest, w []float64,
+	essential func(int32) bool, head func(seqgraph.VertexID) float64) []float64 {
+
+	n := g.NumVertices()
+	lmax := make([]float64, n)
+
+	// Reverse-topological order over the essential subgraph.
+	outdeg := make([]int32, n)
+	for eid := range g.Edges {
+		if essential(int32(eid)) {
+			outdeg[g.Edges[eid].From]++
+		}
+	}
+	queue := make([]seqgraph.VertexID, 0, n)
+	for v := 0; v < n; v++ {
+		if outdeg[v] == 0 {
+			queue = append(queue, seqgraph.VertexID(v))
+		}
+	}
+	processed := make([]bool, n)
+	evaluate := func(u seqgraph.VertexID) {
+		h := head(u)
+		if f.Beta[u] == 0 {
+			// Roots (and unattached vertices) are the latency baseline;
+			// Eq 13 with β = 0 pins them at zero.
+			lmax[u] = 0
+			return
+		}
+		alpha, beta := f.Alpha[u], float64(f.Beta[u])
+		wavg := math.Inf(-1)
+		hasSucc := false
+		for _, eid := range g.Out[u] {
+			if !essential(eid) {
+				continue
+			}
+			hasSucc = true
+			v := g.Edges[eid].To
+			lv := lmax[v]
+			if !processed[v] && v != u {
+				lv = 0 // cycle remnant: conservative
+			}
+			if c := (alpha + w[eid] + lv) / (beta + 1); c > wavg {
+				wavg = c
+			}
+		}
+		if !hasSucc {
+			// Sink vertex: its virtual endpoint carries the headroom as the
+			// terminal weight with l^max_end = 0 (Fig 6).
+			wavg = (alpha + h) / (beta + 1)
+		}
+		l := beta*wavg - alpha
+		if l > h {
+			l = h // hard Eq-11 cap
+		}
+		if l < 0 {
+			l = 0
+		}
+		lmax[u] = l
+	}
+
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		evaluate(u)
+		processed[u] = true
+		for _, eid := range g.In[u] {
+			if !essential(eid) {
+				continue
+			}
+			p := g.Edges[eid].From
+			outdeg[p]--
+			if outdeg[p] == 0 {
+				queue = append(queue, p)
+			}
+		}
+	}
+	// Cycle remnants (not yet frozen): evaluate conservatively in id order.
+	for v := 0; v < n; v++ {
+		if !processed[v] {
+			evaluate(seqgraph.VertexID(v))
+			processed[v] = true
+		}
+	}
+	return lmax
+}
+
+// PassTwo is the topological traversal of §III-C3: it assigns the actual
+// latency increments via Eq (14), generalized to all incoming essential
+// edges (the paper's Fig 6 cross-arborescence case): the increment is the
+// largest need among incoming edges, capped at l^max. The second return
+// value flags vertices whose need exceeded l^max — IC-CSS+ uses it to
+// trigger its constraint-edge extraction callback (§III-E ii).
+func PassTwo(g *seqgraph.Graph, f *seqgraph.Forest, w []float64,
+	essential func(int32) bool, lmax []float64) ([]float64, []bool) {
+
+	n := g.NumVertices()
+	l := make([]float64, n)
+	capped := make([]bool, n)
+
+	indeg := make([]int32, n)
+	for eid := range g.Edges {
+		if essential(int32(eid)) {
+			indeg[g.Edges[eid].To]++
+		}
+	}
+	queue := make([]seqgraph.VertexID, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, seqgraph.VertexID(v))
+		}
+	}
+	processed := make([]bool, n)
+	assign := func(v seqgraph.VertexID) {
+		if g.Frozen[v] || g.IsPort[v] {
+			l[v] = 0
+			return
+		}
+		need := 0.0
+		for _, eid := range g.In[v] {
+			if !essential(eid) {
+				continue
+			}
+			u := g.Edges[eid].From
+			// Eq 14: enough to zero the edge given the tail's assignment.
+			if nv := l[u] - w[eid]; nv > need {
+				need = nv
+			}
+		}
+		if need > lmax[v]+eps {
+			need = lmax[v]
+			capped[v] = true
+		}
+		if need < 0 {
+			need = 0
+		}
+		l[v] = need
+	}
+
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		assign(v)
+		processed[v] = true
+		for _, eid := range g.Out[v] {
+			if !essential(eid) {
+				continue
+			}
+			t := g.Edges[eid].To
+			indeg[t]--
+			if indeg[t] == 0 {
+				queue = append(queue, t)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !processed[v] {
+			assign(seqgraph.VertexID(v))
+		}
+	}
+	_ = f
+	return l, capped
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"iterskew/internal/delay"
+	"iterskew/internal/netlist"
+	"iterskew/internal/timing"
+)
+
+// MinPeriodResult reports the minimum-period search.
+type MinPeriodResult struct {
+	// Period is the smallest probed clock period at which the iterative
+	// schedule eliminates every setup violation.
+	Period float64
+	// Probes is the number of binary-search iterations run.
+	Probes int
+	// LastSchedule is the Schedule result at the returned period.
+	LastSchedule *Result
+}
+
+// MinPeriod finds, by binary search over full Schedule runs, the smallest
+// clock period at which the design is schedulable free of setup violations
+// with unrestricted (non-negative) useful skew — the classical clock skew
+// scheduling objective ([4], [8]) answered with the paper's fast iterative
+// engine. The search works on clones; the input design is not modified.
+//
+// lo and hi bound the search (hi must be feasible; lo may be 0 to start
+// from the largest single-stage bound), tol is the absolute termination
+// window in ps.
+func MinPeriod(d *netlist.Design, lo, hi, tol float64) (*MinPeriodResult, error) {
+	if tol <= 0 {
+		tol = 1
+	}
+	if hi <= 0 {
+		return nil, fmt.Errorf("core: MinPeriod needs hi > 0")
+	}
+	res := &MinPeriodResult{}
+
+	feasible := func(period float64) (*Result, bool, error) {
+		dd := d.Clone()
+		dd.Period = period
+		tm, err := timing.New(dd, delay.Default())
+		if err != nil {
+			return nil, false, err
+		}
+		r := Schedule(tm, Options{Mode: timing.Late})
+		wns, _ := tm.WNSTNS(timing.Late)
+		return r, wns >= -1e-6, nil
+	}
+
+	r, ok, err := feasible(hi)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: MinPeriod upper bound %v ps is not schedulable", hi)
+	}
+	res.Period = hi
+	res.LastSchedule = r
+
+	for hi-lo > tol && res.Probes < 64 {
+		mid := (lo + hi) / 2
+		res.Probes++
+		r, ok, err := feasible(mid)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			hi = mid
+			res.Period = mid
+			res.LastSchedule = r
+		} else {
+			lo = mid
+		}
+	}
+	if math.IsInf(res.Period, 0) {
+		return nil, fmt.Errorf("core: MinPeriod did not converge")
+	}
+	return res, nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"iterskew/internal/timing"
+)
+
+// TestMinPeriodChain: on a two-stage pipeline the minimum period with
+// unrestricted skew equals the AVERAGE stage delay (skew borrows from the
+// short stage), not the max — the classical CSS result.
+func TestMinPeriodChain(t *testing.T) {
+	c := buildChain(t, 300, []int{20, 2})
+	tm := newTimer(t, c.d)
+
+	// Per-stage critical periods at zero skew.
+	e1 := tm.EndpointOf(c.ffs[1])
+	e2 := tm.EndpointOf(c.ffs[2])
+	t1 := c.d.Period - tm.LateSlack(e1) // stage 1 critical period
+	t2 := c.d.Period - tm.LateSlack(e2)
+	if t1 <= t2 {
+		t.Fatalf("fixture stages not unbalanced: %v vs %v", t1, t2)
+	}
+
+	res, err := MinPeriod(c.d, 0, 2*t1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An open chain has no cycle bound: skew lets later stages lag
+	// arbitrarily, so the minimum beats even the stage mean; it must still
+	// beat the zero-skew bound (max stage) and respect the register
+	// overhead floor (clk→Q + setup ≈ 105 ps in StdLib).
+	if res.Period >= t1 {
+		t.Errorf("min period %v no better than zero-skew bound %v", res.Period, t1)
+	}
+	if res.Period < 105 {
+		t.Errorf("min period %v below the register overhead floor", res.Period)
+	}
+	_ = t2
+	if res.Probes == 0 || res.LastSchedule == nil {
+		t.Error("search bookkeeping missing")
+	}
+	// The returned period is actually schedulable.
+	d2 := c.d.Clone()
+	d2.Period = res.Period
+	tm2 := newTimer(t, d2)
+	Schedule(tm2, Options{Mode: timing.Late})
+	if wns, _ := tm2.WNSTNS(timing.Late); wns < -1e-6 {
+		t.Errorf("returned period not schedulable: %v", wns)
+	}
+}
+
+// TestMinPeriodRing: a register ring's minimum period is its mean stage
+// delay (the MMWC bound) — skew cannot beat the cycle mean.
+func TestMinPeriodRing(t *testing.T) {
+	d, ffA, ffB := buildRing(t, 352, 30, 20)
+	tm := newTimer(t, d)
+	tA := 352 - tm.LateSlack(tm.EndpointOf(ffA))
+	tB := 352 - tm.LateSlack(tm.EndpointOf(ffB))
+	mean := (tA + tB) / 2
+
+	res, err := MinPeriod(d, 0, 2*tA, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Period-mean) > 2 {
+		t.Errorf("ring min period %v, want cycle mean %v", res.Period, mean)
+	}
+}
+
+// TestMinPeriodErrors: bad bounds are rejected.
+func TestMinPeriodErrors(t *testing.T) {
+	c := buildChain(t, 300, []int{20, 2})
+	if _, err := MinPeriod(c.d, 0, 0, 1); err == nil {
+		t.Error("hi=0 accepted")
+	}
+	if _, err := MinPeriod(c.d, 0, 10, 1); err == nil {
+		t.Error("infeasible hi accepted")
+	}
+}

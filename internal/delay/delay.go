@@ -1,0 +1,145 @@
+// Package delay implements the interconnect and cell delay models used by
+// the STA engine and the slack optimizers.
+//
+// Wires use a star-topology Elmore model: each sink of a net is connected to
+// the driver by a dedicated wire of length equal to the Manhattan
+// pin-to-pin distance. The driving cell sees the sum of wire and pin
+// capacitances as its load; each sink additionally sees the distributed RC
+// delay of its own branch:
+//
+//	cellDelay  = Intrinsic + DriveRes · loadCap(net)
+//	wireDelay  = RWire·dist · (CWire·dist/2 + sinkPinCap)
+//
+// The model is invertible, which is what the paper's Eq. (16)
+// (Dist* = Elmore(l*)) needs for LCB–FF reconnection: TargetDistance returns
+// the wire length that produces a requested latency increase.
+package delay
+
+import (
+	"math"
+
+	"iterskew/internal/netlist"
+)
+
+// Model holds the per-unit-length interconnect parameters and the analysis
+// derates.
+type Model struct {
+	RWire float64 // wire resistance, ps/(fF·DBU)
+	CWire float64 // wire capacitance, fF/DBU
+
+	// DerateEarly and DerateLate scale every data arc's delay in the early
+	// (min/hold) and late (max/setup) analyses respectively — the
+	// best-case/worst-case corner split of production STA (OCV-lite).
+	// Zero values mean 1.0 (single-corner analysis).
+	DerateEarly float64
+	DerateLate  float64
+}
+
+// Default returns the interconnect model calibrated for the synthetic
+// benchmarks: a 200-DBU wire contributes ≈14 ps of its own delay and ≈10 fF
+// of load, comparable in magnitude to a gate delay — the regime in which the
+// contest designs operate. Single-corner (derates 1.0).
+func Default() Model {
+	return Model{RWire: 0.01, CWire: 0.05}
+}
+
+// Derated returns the default model with a best-/worst-case corner split:
+// early arcs at `early`× and late arcs at `late`× nominal delay.
+func Derated(early, late float64) Model {
+	m := Default()
+	m.DerateEarly = early
+	m.DerateLate = late
+	return m
+}
+
+// WireCap returns the capacitance of a wire of the given length.
+func (m Model) WireCap(dist float64) float64 { return m.CWire * dist }
+
+// WireDelay returns the Elmore delay of a branch of the given length driving
+// sinkCap at its far end.
+func (m Model) WireDelay(dist, sinkCap float64) float64 {
+	return m.RWire * dist * (m.CWire*dist/2 + sinkCap)
+}
+
+// CellDelay returns the load-dependent delay of a cell arc: the NLDM-lite
+// table interpolation when the type is characterized, the linear
+// Intrinsic + DriveRes·load model otherwise.
+func (m Model) CellDelay(t *netlist.CellType, load float64) float64 {
+	if n := len(t.DelayTable); n > 0 {
+		return interpTable(t.DelayTable, load)
+	}
+	return t.Intrinsic + t.DriveRes*load
+}
+
+// interpTable evaluates a piecewise-linear (load, delay) table, linearly
+// extrapolating beyond its ends (flat for single-point tables).
+func interpTable(tab []netlist.DelayPoint, load float64) float64 {
+	n := len(tab)
+	if n == 1 {
+		return tab[0].Delay
+	}
+	// Find the segment: the last i with tab[i].Load <= load, clamped so an
+	// end segment extrapolates.
+	i := 0
+	for i < n-2 && tab[i+1].Load <= load {
+		i++
+	}
+	a, b := tab[i], tab[i+1]
+	if b.Load == a.Load {
+		return a.Delay
+	}
+	frac := (load - a.Load) / (b.Load - a.Load)
+	return a.Delay + frac*(b.Delay-a.Delay)
+}
+
+// NetLoad returns the total capacitance seen by the driver of net n: all
+// sink pin capacitances plus all branch wire capacitances.
+func (m Model) NetLoad(d *netlist.Design, n netlist.NetID) float64 {
+	net := &d.Nets[n]
+	if net.Driver == netlist.NoPin {
+		return 0
+	}
+	dp := d.PinPos(net.Driver)
+	var load float64
+	for _, s := range net.Sinks {
+		load += d.Pins[s].Cap + m.WireCap(dp.Manhattan(d.PinPos(s)))
+	}
+	return load
+}
+
+// SinkWireDelay returns the interconnect delay from the driver of net n to
+// the given sink pin.
+func (m Model) SinkWireDelay(d *netlist.Design, n netlist.NetID, sink netlist.PinID) float64 {
+	net := &d.Nets[n]
+	dist := d.PinPos(net.Driver).Manhattan(d.PinPos(sink))
+	return m.WireDelay(dist, d.Pins[sink].Cap)
+}
+
+// TargetDistance inverts the latency model of an LCB branch: it returns the
+// wire length whose combined effect — extra load on the driver plus the
+// branch's own Elmore delay — produces the requested latency increase.
+// driveRes is the driver's drive resistance (the extra-load term
+// driveRes·CWire·dist), sinkCap the reconnected pin's capacitance. A
+// non-positive latency maps to distance 0.
+func (m Model) TargetDistance(latency, sinkCap, driveRes float64) float64 {
+	if latency <= 0 {
+		return 0
+	}
+	// a·x² + b·x − latency = 0 with a = RWire·CWire/2,
+	// b = RWire·sinkCap + driveRes·CWire.
+	a := m.RWire * m.CWire / 2
+	b := m.RWire*sinkCap + driveRes*m.CWire
+	if a == 0 {
+		if b == 0 {
+			return 0
+		}
+		return latency / b
+	}
+	return (-b + math.Sqrt(b*b+4*a*latency)) / (2 * a)
+}
+
+// BranchLatency is the forward form of TargetDistance: the latency increase
+// produced by a branch of the given length.
+func (m Model) BranchLatency(dist, sinkCap, driveRes float64) float64 {
+	return m.WireDelay(dist, sinkCap) + driveRes*m.WireCap(dist)
+}

@@ -1,0 +1,122 @@
+package delay
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"iterskew/internal/geom"
+	"iterskew/internal/netlist"
+)
+
+func TestWireDelayZeroLength(t *testing.T) {
+	m := Default()
+	if got := m.WireDelay(0, 5); got != 0 {
+		t.Errorf("WireDelay(0) = %v", got)
+	}
+	if got := m.WireCap(0); got != 0 {
+		t.Errorf("WireCap(0) = %v", got)
+	}
+}
+
+func TestWireDelayMonotone(t *testing.T) {
+	m := Default()
+	f := func(a, b uint16, capFF uint8) bool {
+		d1, d2 := float64(a), float64(b)
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		c := float64(capFF)
+		return m.WireDelay(d1, c) <= m.WireDelay(d2, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellDelay(t *testing.T) {
+	m := Default()
+	ct := &netlist.CellType{Intrinsic: 10, DriveRes: 2}
+	if got := m.CellDelay(ct, 5); got != 20 {
+		t.Errorf("CellDelay = %v, want 20", got)
+	}
+	if got := m.CellDelay(ct, 0); got != 10 {
+		t.Errorf("CellDelay(no load) = %v, want 10", got)
+	}
+}
+
+func TestNetLoadAndSinkDelay(t *testing.T) {
+	m := Default()
+	lib := netlist.StdLib()
+	d := netlist.NewDesign("t", 1000)
+	in := d.AddCell("in", lib.Get("PORTIN"), geom.Pt(0, 0))
+	g1 := d.AddCell("g1", lib.Get("INV"), geom.Pt(100, 0))
+	g2 := d.AddCell("g2", lib.Get("INV"), geom.Pt(0, 300))
+	n := d.Connect("n", d.OutPin(in), d.Cells[g1].Pins[0], d.Cells[g2].Pins[0])
+
+	inv := lib.Get("INV")
+	wantLoad := inv.InputCap + m.WireCap(100) + inv.InputCap + m.WireCap(300)
+	if got := m.NetLoad(d, n); math.Abs(got-wantLoad) > 1e-12 {
+		t.Errorf("NetLoad = %v, want %v", got, wantLoad)
+	}
+
+	want1 := m.WireDelay(100, inv.InputCap)
+	if got := m.SinkWireDelay(d, n, d.Cells[g1].Pins[0]); math.Abs(got-want1) > 1e-12 {
+		t.Errorf("SinkWireDelay(g1) = %v, want %v", got, want1)
+	}
+	// Farther sink must have strictly larger wire delay.
+	d1 := m.SinkWireDelay(d, n, d.Cells[g1].Pins[0])
+	d2 := m.SinkWireDelay(d, n, d.Cells[g2].Pins[0])
+	if d2 <= d1 {
+		t.Errorf("farther sink not slower: %v vs %v", d1, d2)
+	}
+}
+
+func TestTargetDistanceInvertsBranchLatency(t *testing.T) {
+	m := Default()
+	const sinkCap, driveRes = 1.5, 0.35
+	f := func(latP uint16) bool {
+		lat := float64(latP%500) + 1 // 1..500 ps
+		dist := m.TargetDistance(lat, sinkCap, driveRes)
+		back := m.BranchLatency(dist, sinkCap, driveRes)
+		return math.Abs(back-lat) < 1e-6*math.Max(1, lat)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTargetDistanceEdgeCases(t *testing.T) {
+	m := Default()
+	if got := m.TargetDistance(0, 1, 1); got != 0 {
+		t.Errorf("TargetDistance(0) = %v", got)
+	}
+	if got := m.TargetDistance(-5, 1, 1); got != 0 {
+		t.Errorf("TargetDistance(neg) = %v", got)
+	}
+	// Degenerate linear model (no wire cap): latency/b.
+	lin := Model{RWire: 0.01, CWire: 0}
+	want := 10.0 / (0.01 * 2)
+	if got := lin.TargetDistance(10, 2, 0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("linear TargetDistance = %v, want %v", got, want)
+	}
+	// Fully degenerate model.
+	zero := Model{}
+	if got := zero.TargetDistance(10, 2, 0); got != 0 {
+		t.Errorf("degenerate TargetDistance = %v", got)
+	}
+}
+
+func TestTargetDistanceMonotone(t *testing.T) {
+	m := Default()
+	f := func(a, b uint16) bool {
+		l1, l2 := float64(a), float64(b)
+		if l1 > l2 {
+			l1, l2 = l2, l1
+		}
+		return m.TargetDistance(l1, 1.5, 0.35) <= m.TargetDistance(l2, 1.5, 0.35)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package delay
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"iterskew/internal/geom"
+	"iterskew/internal/netlist"
+)
+
+func tableType() *netlist.CellType {
+	return &netlist.CellType{
+		Name: "LUT", Kind: netlist.KindComb, NumInputs: 1,
+		Intrinsic: 999, DriveRes: 999, // must be ignored when a table exists
+		InputCap: 1,
+		DelayTable: []netlist.DelayPoint{
+			{Load: 0, Delay: 10},
+			{Load: 10, Delay: 25},
+			{Load: 40, Delay: 100},
+		},
+	}
+}
+
+func TestTableDelayAtKnots(t *testing.T) {
+	m := Default()
+	ct := tableType()
+	for _, p := range ct.DelayTable {
+		if got := m.CellDelay(ct, p.Load); math.Abs(got-p.Delay) > 1e-12 {
+			t.Errorf("CellDelay(%v) = %v, want %v", p.Load, got, p.Delay)
+		}
+	}
+}
+
+func TestTableDelayInterpolation(t *testing.T) {
+	m := Default()
+	ct := tableType()
+	// Midpoint of the first segment.
+	if got := m.CellDelay(ct, 5); math.Abs(got-17.5) > 1e-12 {
+		t.Errorf("CellDelay(5) = %v, want 17.5", got)
+	}
+	// Midpoint of the second segment.
+	if got := m.CellDelay(ct, 25); math.Abs(got-62.5) > 1e-12 {
+		t.Errorf("CellDelay(25) = %v, want 62.5", got)
+	}
+}
+
+func TestTableDelayExtrapolation(t *testing.T) {
+	m := Default()
+	ct := tableType()
+	// Beyond the last knot: the last segment's slope is 2.5 ps/fF.
+	if got := m.CellDelay(ct, 50); math.Abs(got-125) > 1e-12 {
+		t.Errorf("CellDelay(50) = %v, want 125", got)
+	}
+	// Below the first knot: the first segment's slope is 1.5 ps/fF.
+	if got := m.CellDelay(ct, -2); math.Abs(got-7) > 1e-12 {
+		t.Errorf("CellDelay(-2) = %v, want 7", got)
+	}
+}
+
+func TestTableDelaySinglePoint(t *testing.T) {
+	m := Default()
+	ct := &netlist.CellType{DelayTable: []netlist.DelayPoint{{Load: 5, Delay: 42}}}
+	for _, load := range []float64{0, 5, 100} {
+		if got := m.CellDelay(ct, load); got != 42 {
+			t.Errorf("single-point table: CellDelay(%v) = %v", load, got)
+		}
+	}
+}
+
+func TestTableDelayMonotoneForMonotoneTable(t *testing.T) {
+	m := Default()
+	ct := tableType()
+	f := func(a, b uint8) bool {
+		la, lb := float64(a), float64(b)
+		if la > lb {
+			la, lb = lb, la
+		}
+		return m.CellDelay(ct, la) <= m.CellDelay(ct, lb)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTableTypeInTimerPath: an instantiated table-characterized gate times
+// with the table, not the linear parameters.
+func TestTableTypeInTimerPath(t *testing.T) {
+	// Assemble a one-gate net and check NetLoad-based delay via CellDelay.
+	m := Default()
+	lib := netlist.StdLib()
+	d := netlist.NewDesign("lut", 1000)
+	ct := tableType()
+	in := d.AddCell("in", lib.Get("PORTIN"), geom.Pt(0, 0))
+	g := d.AddCell("g", ct, geom.Pt(0, 0))
+	snk := d.AddCell("snk", lib.Get("PORTOUT"), geom.Pt(0, 0))
+	d.Connect("ni", d.OutPin(in), d.Cells[g].Pins[0])
+	n2 := d.Connect("no", d.OutPin(g), d.Cells[snk].Pins[0])
+
+	load := m.NetLoad(d, n2) // = PORTOUT cap (2 fF), zero wire
+	want := 10 + (load/10)*15
+	if got := m.CellDelay(ct, load); math.Abs(got-want) > 1e-9 {
+		t.Errorf("timer-path delay = %v, want %v", got, want)
+	}
+}

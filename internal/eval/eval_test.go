@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"iterskew/internal/bench"
+	"iterskew/internal/delay"
+	"iterskew/internal/geom"
+	"iterskew/internal/netlist"
+	"iterskew/internal/timing"
+)
+
+func TestMeasureOnGenerated(t *testing.T) {
+	p, err := bench.Superblue("superblue18", 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := bench.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := timing.New(d, delay.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Measure(tm)
+	if m.HPWL <= 0 {
+		t.Error("HPWL not positive")
+	}
+	if m.WNSLate > 0 || m.WNSEarly > 0 {
+		t.Error("WNS must be <= 0 by definition")
+	}
+	if m.TNSLate > m.WNSLate {
+		t.Errorf("TNS %v cannot be better than WNS %v", m.TNSLate, m.WNSLate)
+	}
+	if (m.ViolLate == 0) != (m.TNSLate == 0) {
+		t.Error("violation count inconsistent with TNS")
+	}
+	if s := m.String(); !strings.Contains(s, "WNS") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestHPWLIncreasePct(t *testing.T) {
+	if got := HPWLIncreasePct(100, 101); math.Abs(got-1) > 1e-12 {
+		t.Errorf("got %v, want 1", got)
+	}
+	if got := HPWLIncreasePct(0, 50); got != 0 {
+		t.Errorf("zero base: got %v", got)
+	}
+	if got := HPWLIncreasePct(200, 150); got != -25 {
+		t.Errorf("decrease: got %v", got)
+	}
+}
+
+func TestImprovementPct(t *testing.T) {
+	// -100 -> -20 is an 80% improvement.
+	if got := ImprovementPct(-100, -20); math.Abs(got-80) > 1e-12 {
+		t.Errorf("got %v, want 80", got)
+	}
+	// -100 -> -120 is a 20% regression.
+	if got := ImprovementPct(-100, -120); math.Abs(got+20) > 1e-12 {
+		t.Errorf("got %v, want -20", got)
+	}
+	if got := ImprovementPct(0, -50); got != 0 {
+		t.Errorf("zero before: got %v", got)
+	}
+}
+
+func TestCheckConstraints(t *testing.T) {
+	lib := netlist.StdLib()
+	d := netlist.NewDesign("c", 1000)
+	d.Die = geom.RectOf(geom.Pt(0, 0), geom.Pt(1000, 1000))
+	d.MaxDisp = 50
+	g := d.AddCell("g", lib.Get("INV"), geom.Pt(100, 100))
+	g2 := d.AddCell("g2", lib.Get("INV"), geom.Pt(200, 200))
+	d.Connect("n", d.OutPin(g), d.Cells[g2].Pins[0])
+
+	if errs := CheckConstraints(d); len(errs) != 0 {
+		t.Fatalf("clean design flagged: %v", errs)
+	}
+
+	// Violate displacement by direct mutation (bypassing MoveCell's check).
+	d.Cells[g].Pos = geom.Pt(400, 400)
+	errs := CheckConstraints(d)
+	if len(errs) == 0 {
+		t.Error("displacement violation not flagged")
+	}
+	d.Cells[g].Pos = d.OrigPos[g]
+
+	// Move a fixed cell.
+	root := d.AddCell("root", lib.Get("CLKROOT"), geom.Pt(0, 0))
+	d.Cells[root].Pos = geom.Pt(5, 5)
+	if errs := CheckConstraints(d); len(errs) == 0 {
+		t.Error("fixed-cell move not flagged")
+	}
+}

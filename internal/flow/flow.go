@@ -1,0 +1,191 @@
+// Package flow orchestrates the paper's §V evaluation flow: two-stage slack
+// optimization (early under late constraints, then late under early
+// constraints), with a pluggable clock-skew-scheduling method per stage,
+// followed by the §IV physical realization.
+//
+// Each Run clones the input design, so every method starts from the same
+// "Contest 1st" solution, as in Table I.
+package flow
+
+import (
+	"fmt"
+	"time"
+
+	"iterskew/internal/core"
+	"iterskew/internal/delay"
+	"iterskew/internal/eval"
+	"iterskew/internal/fpm"
+	"iterskew/internal/iccss"
+	"iterskew/internal/netlist"
+	"iterskew/internal/opt"
+	"iterskew/internal/timing"
+)
+
+// Method selects the CSS algorithm compared in Table I.
+type Method int
+
+// The Table-I rows.
+const (
+	Baseline  Method = iota // the input solution, unmodified ("Contest 1st")
+	FPM                     // Kim et al.'s fast predictive useful skew (early only)
+	OursEarly               // the paper's algorithm, early stage only
+	ICCSSPlus               // modified incremental CSS (§III-E), both stages
+	Ours                    // the paper's algorithm, both stages
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Baseline:
+		return "Contest1st"
+	case FPM:
+		return "FPM"
+	case OursEarly:
+		return "Ours-Early"
+	case ICCSSPlus:
+		return "IC-CSS+"
+	case Ours:
+		return "Ours"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Config tunes a flow run.
+type Config struct {
+	Method    Method
+	MaxRounds int // per CSS stage; 0 = default
+	// Margin is the §V stability amplification passed to the core
+	// scheduler (extract edges within this slack band; 0 = violations
+	// only).
+	Margin    float64
+	Reconnect opt.ReconnectOptions
+	Move      opt.MoveOptions
+	// EnableSizing runs the gate-sizing refinement (§"logic path
+	// optimization" future work) after the late stage.
+	EnableSizing bool
+	Resize       opt.ResizeOptions
+}
+
+// TrajPoint is one step of the Fig-8 trajectory.
+type TrajPoint struct {
+	Phase string // "early-css", "early-opt", "late-css", "late-opt"
+	Step  int
+	Mode  timing.Mode
+	WNS   float64 // of the phase's mode
+	TNS   float64
+}
+
+// Report is the outcome of one flow run — one row of Table I.
+type Report struct {
+	Method Method
+	Input  eval.Metrics
+	Final  eval.Metrics
+
+	CSSTime time.Duration
+	OptTime time.Duration
+	Total   time.Duration
+
+	// ExtractedEdges counts sequential edges produced by the timer's
+	// extraction calls (the "#Extract Edge" column).
+	ExtractedEdges int64
+	// Rounds is the total number of CSS update-extract rounds (the paper's
+	// k), summed over stages.
+	Rounds int
+
+	HPWLIncrPct float64
+	Trajectory  []TrajPoint
+
+	// ConstraintErrs lists contest-constraint violations after the flow
+	// (must be empty).
+	ConstraintErrs []string
+}
+
+// Run executes the configured method on a clone of the input design.
+func Run(input *netlist.Design, cfg Config) (*Report, error) {
+	d := input.Clone()
+	tm, err := timing.New(d, delay.Default())
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Method: cfg.Method}
+	rep.Input = eval.Measure(tm)
+	edges0 := tm.Stats.ExtractedEdges
+	start := time.Now()
+
+	switch cfg.Method {
+	case Baseline:
+		// Nothing to do.
+
+	case FPM:
+		t0 := time.Now()
+		fpm.Schedule(tm, fpm.Options{})
+		rep.CSSTime = time.Since(t0)
+		// FPM is a predictive placement-stage methodology: its skews are
+		// assumed realized by downstream CTS, so it is evaluated with the
+		// predictive latencies applied and performs no physical
+		// optimization (hence its ≈0 HPWL impact in Table I).
+
+	case OursEarly:
+		runStage(tm, rep, cfg, timing.Early, "early")
+
+	case Ours, ICCSSPlus:
+		runStage(tm, rep, cfg, timing.Early, "early")
+		runStage(tm, rep, cfg, timing.Late, "late")
+		if cfg.EnableSizing {
+			t0 := time.Now()
+			opt.ResizeCells(tm, cfg.Resize)
+			rep.OptTime += time.Since(t0)
+		}
+
+	default:
+		return nil, fmt.Errorf("flow: unknown method %v", cfg.Method)
+	}
+
+	rep.Total = time.Since(start)
+	rep.Final = eval.Measure(tm)
+	rep.ExtractedEdges = tm.Stats.ExtractedEdges - edges0
+	rep.HPWLIncrPct = eval.HPWLIncreasePct(rep.Input.HPWL, rep.Final.HPWL)
+	for _, e := range eval.CheckConstraints(d) {
+		rep.ConstraintErrs = append(rep.ConstraintErrs, e.Error())
+	}
+	return rep, nil
+}
+
+// runStage performs one CSS stage plus its physical realization, timing the
+// two parts separately and recording the trajectory.
+func runStage(tm *timing.Timer, rep *Report, cfg Config, mode timing.Mode, phase string) {
+	t0 := time.Now()
+	var targets map[netlist.CellID]float64
+	switch cfg.Method {
+	case ICCSSPlus:
+		res := iccss.Schedule(tm, iccss.Options{Mode: mode, MaxRounds: cfg.MaxRounds})
+		rep.Rounds += res.Rounds
+		targets = res.Target
+	default:
+		res := core.Schedule(tm, core.Options{Mode: mode, MaxRounds: cfg.MaxRounds, Margin: cfg.Margin})
+		rep.Rounds += res.Rounds
+		targets = res.Target
+		for _, it := range res.PerIter {
+			rep.Trajectory = append(rep.Trajectory, TrajPoint{
+				Phase: phase + "-css", Step: it.Round, Mode: mode, WNS: it.WNS, TNS: it.TNS,
+			})
+		}
+	}
+	rep.CSSTime += time.Since(t0)
+
+	rep.applyOpt(tm, targets, cfg, phase)
+}
+
+// applyOpt realizes targets physically (§IV) and records the post-OPT
+// trajectory point.
+func (rep *Report) applyOpt(tm *timing.Timer, targets map[netlist.CellID]float64, cfg Config, phase string) {
+	t0 := time.Now()
+	opt.Optimize(tm, targets, opt.Options{Reconnect: cfg.Reconnect, Move: cfg.Move})
+	rep.OptTime += time.Since(t0)
+	we, te := tm.WNSTNS(timing.Early)
+	wl, tl := tm.WNSTNS(timing.Late)
+	rep.Trajectory = append(rep.Trajectory,
+		TrajPoint{Phase: phase + "-opt", Mode: timing.Early, WNS: we, TNS: te},
+		TrajPoint{Phase: phase + "-opt", Mode: timing.Late, WNS: wl, TNS: tl},
+	)
+}

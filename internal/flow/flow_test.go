@@ -1,0 +1,119 @@
+package flow
+
+import (
+	"testing"
+
+	"iterskew/internal/bench"
+)
+
+func TestFlowMethodsSmall(t *testing.T) {
+	p, err := bench.Superblue("superblue18", 0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := bench.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var reports []*Report
+	for _, m := range []Method{Baseline, FPM, OursEarly, ICCSSPlus, Ours} {
+		rep, err := Run(d, Config{Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(rep.ConstraintErrs) != 0 {
+			t.Errorf("%v: constraint violations: %v", m, rep.ConstraintErrs)
+		}
+		reports = append(reports, rep)
+		t.Logf("%-11s early %8.1f/%9.1f late %9.1f/%11.1f edges=%6d css=%s opt=%s",
+			m, rep.Final.WNSEarly, rep.Final.TNSEarly, rep.Final.WNSLate, rep.Final.TNSLate,
+			rep.ExtractedEdges, rep.CSSTime, rep.OptTime)
+	}
+
+	base, fpmR, oursEarly, iccssR, ours := reports[0], reports[1], reports[2], reports[3], reports[4]
+
+	// Every method starts from the identical input.
+	for _, r := range reports[1:] {
+		if r.Input != base.Input {
+			t.Errorf("%v: input metrics differ from baseline", r.Method)
+		}
+	}
+	// The baseline run changes nothing.
+	if base.Final != base.Input {
+		t.Error("baseline modified the design")
+	}
+	// Early optimization must improve early TNS over the input.
+	if oursEarly.Final.TNSEarly < base.Final.TNSEarly {
+		t.Errorf("Ours-Early worsened early TNS: %v -> %v", base.Final.TNSEarly, oursEarly.Final.TNSEarly)
+	}
+	// Ours-Early improves early at least as much as FPM (paper: +22.7% WNS).
+	if oursEarly.Final.TNSEarly < fpmR.Final.TNSEarly-1e-6 {
+		t.Errorf("Ours-Early (%v) worse than FPM (%v) on early TNS",
+			oursEarly.Final.TNSEarly, fpmR.Final.TNSEarly)
+	}
+	// Full flows improve late TNS over the input.
+	if ours.Final.TNSLate <= base.Final.TNSLate {
+		t.Errorf("Ours did not improve late TNS: %v -> %v", base.Final.TNSLate, ours.Final.TNSLate)
+	}
+	// The headline extraction contrast: IC-CSS+ extracts more edges.
+	if iccssR.ExtractedEdges <= ours.ExtractedEdges {
+		t.Errorf("IC-CSS+ extracted %d <= Ours %d", iccssR.ExtractedEdges, ours.ExtractedEdges)
+	}
+	// And Ours-Early touches fewer edges than FPM's full extraction.
+	if fpmR.ExtractedEdges <= oursEarly.ExtractedEdges {
+		t.Errorf("FPM extracted %d <= Ours-Early %d", fpmR.ExtractedEdges, oursEarly.ExtractedEdges)
+	}
+	// Trajectories recorded for Ours.
+	if len(ours.Trajectory) == 0 {
+		t.Error("no trajectory recorded")
+	}
+}
+
+// TestFlowSizingAndMargin: the Config plumbing for the §V margin and the
+// gate-sizing refinement reaches the stages and never hurts quality.
+func TestFlowSizingAndMargin(t *testing.T) {
+	p, _ := bench.Superblue("superblue18", 0.004)
+	d, err := bench.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(d, Config{Method: Ours})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := Run(d, Config{Method: Ours, Margin: 20, EnableSizing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuned.ConstraintErrs) != 0 {
+		t.Fatalf("constraints: %v", tuned.ConstraintErrs)
+	}
+	// The margin extracts at least as many edges.
+	if tuned.ExtractedEdges < plain.ExtractedEdges {
+		t.Errorf("margin reduced extraction: %d vs %d", tuned.ExtractedEdges, plain.ExtractedEdges)
+	}
+	// Sizing can only help late TNS (guards revert bad swaps).
+	if tuned.Final.TNSLate < plain.Final.TNSLate-1e-6 {
+		t.Errorf("sizing+margin ended worse: %v vs %v", tuned.Final.TNSLate, plain.Final.TNSLate)
+	}
+	// Early timing is not sacrificed.
+	if tuned.Final.TNSEarly < plain.Final.TNSEarly-1e-6 {
+		t.Errorf("early TNS degraded: %v vs %v", tuned.Final.TNSEarly, plain.Final.TNSEarly)
+	}
+}
+
+func TestFlowDoesNotMutateInput(t *testing.T) {
+	p, _ := bench.Superblue("superblue18", 0.004)
+	d, err := bench.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hpwl0 := d.HPWL()
+	if _, err := Run(d, Config{Method: Ours}); err != nil {
+		t.Fatal(err)
+	}
+	if d.HPWL() != hpwl0 {
+		t.Error("flow mutated the input design")
+	}
+}

@@ -1,0 +1,146 @@
+// Package fpm implements the Fast Predictive Useful Skew Methodology
+// baseline (Kim et al., DAC'17, [3] in the paper): a one-shot predictive
+// skew computation for EARLY (hold) violations performed at placement time.
+//
+// Its defining characteristics, which the comparison in Table I measures:
+//
+//   - it extracts the COMPLETE early sequential graph up front — one full
+//     per-source traversal per sequential vertex, the O(n·m') cost that the
+//     paper's iterative extraction avoids;
+//   - it assigns skews in a single greedy pass over the violating edges,
+//     without timer-in-the-loop feedback, bounded by a one-time late-slack
+//     snapshot per launch vertex — so conflicting or bound-capped
+//     violations leave residual negative slack (the nonzero FPM rows of
+//     Table I);
+//   - it performs no physical optimization, so its HPWL impact is nil.
+package fpm
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"iterskew/internal/netlist"
+	"iterskew/internal/seqgraph"
+	"iterskew/internal/timing"
+)
+
+const eps = 1e-6
+
+// Options configures an FPM run.
+type Options struct {
+	// LatencyUB optionally bounds the predictive latency per flip-flop.
+	LatencyUB func(ff netlist.CellID) float64
+}
+
+// Result reports what FPM did.
+type Result struct {
+	Target         map[netlist.CellID]float64
+	EdgesExtracted int
+	Elapsed        time.Duration
+	Graph          *seqgraph.Graph
+}
+
+// Schedule runs FPM: full early-graph extraction followed by one greedy
+// predictive skew pass. Latencies are left applied on the timer.
+func Schedule(tm *timing.Timer, opts Options) *Result {
+	start := time.Now()
+	d := tm.D
+	g := seqgraph.New()
+	isPort := func(c netlist.CellID) bool {
+		k := d.Cells[c].Type.Kind
+		return k == netlist.KindPortIn || k == netlist.KindPortOut
+	}
+	res := &Result{Target: map[netlist.CellID]float64{}, Graph: g}
+
+	// Full sequential graph extraction: every early edge of the design.
+	var edgeBuf []timing.SeqEdge
+	var launches []netlist.CellID
+	launches = append(launches, d.FFs...)
+	launches = append(launches, d.InPorts...)
+	for _, u := range launches {
+		edgeBuf = tm.ExtractAllFrom(u, timing.Early, edgeBuf[:0])
+		for _, se := range edgeBuf {
+			g.AddSeqEdge(se, isPort)
+		}
+	}
+	res.EdgesExtracted = len(g.Edges)
+
+	// One-time late-slack snapshot bounds the launch raises.
+	bound := map[netlist.CellID]float64{}
+	for _, ff := range d.FFs {
+		c := tm.LaunchLateSlack(ff)
+		if c < 0 {
+			c = 0
+		}
+		if opts.LatencyUB != nil {
+			if ub := opts.LatencyUB(ff); ub < c {
+				c = ub
+			}
+		}
+		bound[ff] = c
+	}
+
+	// Greedy pass: most-violating edges first; raise the launch (the head
+	// in unified early orientation) just enough, within its remaining cap.
+	type cand struct {
+		eid   int32
+		slack float64
+	}
+	var cands []cand
+	for eid := range g.Edges {
+		s := tm.EdgeSlack(g.Edges[eid].Seq)
+		if s < -eps {
+			cands = append(cands, cand{int32(eid), s})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].slack != cands[j].slack {
+			return cands[i].slack < cands[j].slack
+		}
+		return cands[i].eid < cands[j].eid
+	})
+
+	assigned := map[netlist.CellID]float64{}
+	for _, c := range cands {
+		e := &g.Edges[c.eid]
+		head := e.To // the launch vertex for early edges
+		if g.IsPort[head] {
+			continue // port launches cannot be delayed: residual violation
+		}
+		cell := g.Cells[head]
+		tail := e.From
+		var tailRaise float64
+		if !g.IsPort[tail] {
+			tailRaise = assigned[g.Cells[tail]]
+		}
+		// Predictive slack under already-assigned raises (no propagation).
+		s := c.slack + assigned[cell] - tailRaise
+		if s >= -eps {
+			continue
+		}
+		need := assigned[cell] - s
+		limit := bound[cell]
+		if need > limit {
+			need = limit // capped: residual violation remains
+		}
+		if need > assigned[cell] {
+			assigned[cell] = need
+		}
+	}
+
+	for cell, l := range assigned {
+		if l <= eps {
+			continue
+		}
+		if math.IsInf(l, 0) || math.IsNaN(l) {
+			continue
+		}
+		tm.AddExtraLatency(cell, l)
+		res.Target[cell] = l
+	}
+	tm.Update()
+
+	res.Elapsed = time.Since(start)
+	return res
+}

@@ -1,0 +1,149 @@
+// Package geom provides the planar geometry primitives used by the
+// placement, wire-delay, and HPWL machinery: points, rectangles, Manhattan
+// distance, and bounding boxes.
+//
+// Coordinates are in database units (DBU); one DBU corresponds to one
+// nanometre of die area in the synthetic benchmarks. All values are float64
+// so the same types serve both legal placements and fractional trial moves.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location on the die.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.1f,%.1f)", p.X, p.Y) }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Manhattan returns the L1 (rectilinear) distance between p and q, the
+// metric used by wire-length estimation and the Elmore distance model.
+func (p Point) Manhattan(q Point) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+}
+
+// Euclidean returns the L2 distance between p and q.
+func (p Point) Euclidean(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Rect is an axis-aligned rectangle with Lo at the lower-left corner and Hi
+// at the upper-right corner. A Rect with Lo.X > Hi.X is empty.
+type Rect struct {
+	Lo, Hi Point
+}
+
+// EmptyRect returns a rectangle that contains nothing and acts as the
+// identity for Union/Expand.
+func EmptyRect() Rect {
+	inf := math.Inf(1)
+	return Rect{Lo: Point{inf, inf}, Hi: Point{-inf, -inf}}
+}
+
+// RectOf returns the minimal rectangle containing all the given points.
+// With no points it returns EmptyRect().
+func RectOf(pts ...Point) Rect {
+	r := EmptyRect()
+	for _, p := range pts {
+		r = r.Expand(p)
+	}
+	return r
+}
+
+// Empty reports whether the rectangle contains no points.
+func (r Rect) Empty() bool { return r.Lo.X > r.Hi.X || r.Lo.Y > r.Hi.Y }
+
+// Width returns the horizontal extent (0 for empty rectangles).
+func (r Rect) Width() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.Hi.X - r.Lo.X
+}
+
+// Height returns the vertical extent (0 for empty rectangles).
+func (r Rect) Height() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.Hi.Y - r.Lo.Y
+}
+
+// HalfPerimeter returns Width+Height, the HPWL contribution of a net whose
+// pins span r.
+func (r Rect) HalfPerimeter() float64 { return r.Width() + r.Height() }
+
+// Expand grows the rectangle to include p.
+func (r Rect) Expand(p Point) Rect {
+	if p.X < r.Lo.X {
+		r.Lo.X = p.X
+	}
+	if p.Y < r.Lo.Y {
+		r.Lo.Y = p.Y
+	}
+	if p.X > r.Hi.X {
+		r.Hi.X = p.X
+	}
+	if p.Y > r.Hi.Y {
+		r.Hi.Y = p.Y
+	}
+	return r
+}
+
+// Union returns the minimal rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if s.Empty() {
+		return r
+	}
+	if r.Empty() {
+		return s
+	}
+	return r.Expand(s.Lo).Expand(s.Hi)
+}
+
+// Contains reports whether p lies inside r (inclusive of the boundary).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Lo.X && p.X <= r.Hi.X && p.Y >= r.Lo.Y && p.Y <= r.Hi.Y
+}
+
+// Clamp returns the point inside r nearest to p.
+func (r Rect) Clamp(p Point) Point {
+	if r.Empty() {
+		return p
+	}
+	if p.X < r.Lo.X {
+		p.X = r.Lo.X
+	} else if p.X > r.Hi.X {
+		p.X = r.Hi.X
+	}
+	if p.Y < r.Lo.Y {
+		p.Y = r.Lo.Y
+	} else if p.Y > r.Hi.Y {
+		p.Y = r.Hi.Y
+	}
+	return p
+}
+
+// Center returns the midpoint of r.
+func (r Rect) Center() Point {
+	return Point{(r.Lo.X + r.Hi.X) / 2, (r.Lo.Y + r.Hi.Y) / 2}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%s %s]", r.Lo, r.Hi)
+}

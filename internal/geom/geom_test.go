@@ -1,0 +1,178 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestManhattan(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Pt(0, 0), Pt(0, 0), 0},
+		{Pt(0, 0), Pt(3, 4), 7},
+		{Pt(-1, -2), Pt(1, 2), 6},
+		{Pt(5, 5), Pt(2, 9), 7},
+	}
+	for _, c := range cases {
+		if got := c.p.Manhattan(c.q); got != c.want {
+			t.Errorf("Manhattan(%v,%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestManhattanSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Pt(ax, ay), Pt(bx, by)
+		return a.Manhattan(b) == b.Manhattan(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManhattanTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a, b, c := Pt(float64(ax), float64(ay)), Pt(float64(bx), float64(by)), Pt(float64(cx), float64(cy))
+		return a.Manhattan(c) <= a.Manhattan(b)+b.Manhattan(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEuclideanVsManhattan(t *testing.T) {
+	f := func(ax, ay, bx, by int16) bool {
+		a, b := Pt(float64(ax), float64(ay)), Pt(float64(bx), float64(by))
+		e, m := a.Euclidean(b), a.Manhattan(b)
+		// L2 <= L1 <= sqrt(2)*L2, with slack for float error.
+		return e <= m+1e-9 && m <= math.Sqrt2*e+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	p := Pt(3, 4)
+	q := Pt(1, -2)
+	if got := p.Add(q); got != Pt(4, 2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	f := func(ax, ay, bx, by int16) bool {
+		a, b := Pt(float64(ax), float64(ay)), Pt(float64(bx), float64(by))
+		return a.Add(b).Sub(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyRect(t *testing.T) {
+	r := EmptyRect()
+	if !r.Empty() {
+		t.Fatal("EmptyRect not empty")
+	}
+	if r.Width() != 0 || r.Height() != 0 || r.HalfPerimeter() != 0 {
+		t.Errorf("empty rect extents nonzero: w=%v h=%v", r.Width(), r.Height())
+	}
+	if r.Contains(Pt(0, 0)) {
+		t.Error("empty rect contains a point")
+	}
+}
+
+func TestRectOf(t *testing.T) {
+	r := RectOf(Pt(1, 5), Pt(3, 2), Pt(-1, 4))
+	if r.Lo != Pt(-1, 2) || r.Hi != Pt(3, 5) {
+		t.Errorf("RectOf = %v", r)
+	}
+	if r.Width() != 4 || r.Height() != 3 {
+		t.Errorf("extents = %v x %v", r.Width(), r.Height())
+	}
+	if r.HalfPerimeter() != 7 {
+		t.Errorf("HalfPerimeter = %v", r.HalfPerimeter())
+	}
+}
+
+func TestRectOfSinglePoint(t *testing.T) {
+	r := RectOf(Pt(2, 3))
+	if r.Empty() {
+		t.Fatal("single-point rect is empty")
+	}
+	if r.HalfPerimeter() != 0 {
+		t.Errorf("single-point HPWL = %v, want 0", r.HalfPerimeter())
+	}
+}
+
+func TestRectContainsExpandedPoints(t *testing.T) {
+	f := func(pts [6]int16) bool {
+		r := EmptyRect()
+		var ps []Point
+		for i := 0; i+1 < len(pts); i += 2 {
+			p := Pt(float64(pts[i]), float64(pts[i+1]))
+			ps = append(ps, p)
+			r = r.Expand(p)
+		}
+		for _, p := range ps {
+			if !r.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := RectOf(Pt(0, 0), Pt(1, 1))
+	b := RectOf(Pt(5, 5), Pt(6, 7))
+	u := a.Union(b)
+	if u.Lo != Pt(0, 0) || u.Hi != Pt(6, 7) {
+		t.Errorf("Union = %v", u)
+	}
+	if got := a.Union(EmptyRect()); got != a {
+		t.Errorf("Union with empty changed rect: %v", got)
+	}
+	if got := EmptyRect().Union(a); got != a {
+		t.Errorf("empty.Union(a) = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	r := RectOf(Pt(0, 0), Pt(10, 10))
+	cases := []struct{ in, want Point }{
+		{Pt(5, 5), Pt(5, 5)},
+		{Pt(-3, 5), Pt(0, 5)},
+		{Pt(12, -1), Pt(10, 0)},
+		{Pt(11, 11), Pt(10, 10)},
+	}
+	for _, c := range cases {
+		if got := r.Clamp(c.in); got != c.want {
+			t.Errorf("Clamp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClampProducesContainedPoint(t *testing.T) {
+	r := RectOf(Pt(-100, -50), Pt(200, 80))
+	f := func(x, y int16) bool {
+		return r.Contains(r.Clamp(Pt(float64(x), float64(y))))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCenter(t *testing.T) {
+	r := RectOf(Pt(0, 0), Pt(10, 4))
+	if got := r.Center(); got != Pt(5, 2) {
+		t.Errorf("Center = %v", got)
+	}
+}

@@ -1,0 +1,143 @@
+package netio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"iterskew/internal/bench"
+	"iterskew/internal/delay"
+	"iterskew/internal/timing"
+)
+
+func TestRoundTripGenerated(t *testing.T) {
+	p, err := bench.Superblue("superblue18", 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := bench.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if d.Stats() != d2.Stats() {
+		t.Errorf("stats differ: %v vs %v", d.Stats(), d2.Stats())
+	}
+	if d.Period != d2.Period || d.PortLatency != d2.PortLatency {
+		t.Errorf("timing env differs: %v/%v vs %v/%v", d.Period, d.PortLatency, d2.Period, d2.PortLatency)
+	}
+	if d.MaxDisp != d2.MaxDisp || d.LCBMaxFanout != d2.LCBMaxFanout {
+		t.Error("constraints differ")
+	}
+	if math.Abs(d.HPWL()-d2.HPWL()) > 1e-6 {
+		t.Errorf("HPWL differs: %v vs %v", d.HPWL(), d2.HPWL())
+	}
+
+	// Identical timing state after round-trip.
+	tm1, err := timing.New(d, delay.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm2, err := timing.New(d2, delay.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, t1 := tm1.WNSTNS(timing.Late)
+	w2, t2 := tm2.WNSTNS(timing.Late)
+	if math.Abs(w1-w2) > 1e-6 || math.Abs(t1-t2) > 1e-6 {
+		t.Errorf("late timing differs: %v/%v vs %v/%v", w1, t1, w2, t2)
+	}
+	e1, te1 := tm1.WNSTNS(timing.Early)
+	e2, te2 := tm2.WNSTNS(timing.Early)
+	if math.Abs(e1-e2) > 1e-6 || math.Abs(te1-te2) > 1e-6 {
+		t.Errorf("early timing differs: %v/%v vs %v/%v", e1, te1, e2, te2)
+	}
+}
+
+func TestRoundTripPortDelays(t *testing.T) {
+	p, _ := bench.Superblue("superblue18", 0.003)
+	d, err := bench.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetInputDelay(d.InPorts[0], 33.5)
+	d.SetOutputDelay(d.OutPorts[0], 12.25)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.InDelay[d.InPorts[0]] != 33.5 {
+		t.Errorf("indelay lost: %v", d2.InDelay)
+	}
+	if d2.OutDelay[d.OutPorts[0]] != 12.25 {
+		t.Errorf("outdelay lost: %v", d2.OutDelay)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "not-a-netlist v1\nend\n",
+		"bad type":     "iterskew-netlist v1\ncells 1\nNOPE g 0 0\nend\n",
+		"bad pin ref":  "iterskew-netlist v1\ncells 1\nINV g 0 0\nnets 1\nn 0 1 0-0\nend\n",
+		"pin range":    "iterskew-netlist v1\ncells 1\nINV g 0 0\nnets 1\nn 0 1 0:7\nend\n",
+		"cell range":   "iterskew-netlist v1\ncells 1\nINV g 0 0\nnets 1\nn 0 1 5:0\nend\n",
+		"no end":       "iterskew-netlist v1\ndesign x\n",
+		"net count":    "iterskew-netlist v1\ncells 1\nINV g 0 0\nnets 1\nn 0 3 0:1\nend\n",
+		"unknown word": "iterskew-netlist v1\nbogus 4\nend\n",
+	}
+	for name, text := range cases {
+		if _, err := Read(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: error not detected", name)
+		}
+	}
+}
+
+func TestReadCommentsAndBlankLines(t *testing.T) {
+	text := `iterskew-netlist v1
+# a comment
+design tiny
+
+period 1000
+cells 2
+INV g1 0 0
+INV g2 10 0
+nets 1
+n 0 2 0:1 1:0
+end
+`
+	d, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cells) != 2 || len(d.Nets) != 1 {
+		t.Errorf("parsed %d cells, %d nets", len(d.Cells), len(d.Nets))
+	}
+	if d.Period != 1000 {
+		t.Errorf("period = %v", d.Period)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("a b\tc"); got != "a_b_c" {
+		t.Errorf("sanitize = %q", got)
+	}
+	if got := sanitize(""); got != "_" {
+		t.Errorf("sanitize empty = %q", got)
+	}
+}

@@ -1,0 +1,108 @@
+package netlist
+
+// Library is a named collection of cell types.
+type Library struct {
+	Types map[string]*CellType
+	// Comb lists the X1 combinational types in a deterministic order, for
+	// use by generators that pick gates pseudo-randomly.
+	Comb []*CellType
+	// variants maps a base function name ("INV") to its drive-strength
+	// variants, weakest first.
+	variants map[string][]*CellType
+}
+
+// Get returns the named type, or nil.
+func (l *Library) Get(name string) *CellType { return l.Types[name] }
+
+// Variants returns the drive-strength ladder of a type (weakest first), or
+// nil if the type has no family.
+func (l *Library) Variants(t *CellType) []*CellType { return l.variants[t.Base] }
+
+// Upsize returns the next stronger variant of t, or nil at the top of the
+// ladder. Matching is by name, so types from any StdLib instance work.
+func (l *Library) Upsize(t *CellType) *CellType {
+	fam := l.variants[t.Base]
+	for i, v := range fam {
+		if v.Name == t.Name && i+1 < len(fam) {
+			return fam[i+1]
+		}
+	}
+	return nil
+}
+
+// Downsize returns the next weaker variant of t, or nil at the bottom.
+func (l *Library) Downsize(t *CellType) *CellType {
+	fam := l.variants[t.Base]
+	for i, v := range fam {
+		if v.Name == t.Name && i > 0 {
+			return fam[i-1]
+		}
+	}
+	return nil
+}
+
+// add registers t and returns it.
+func (l *Library) add(t *CellType) *CellType {
+	l.Types[t.Name] = t
+	if t.Base == "" {
+		t.Base = t.Name
+	}
+	l.variants[t.Base] = append(l.variants[t.Base], t)
+	if t.Kind == KindComb && t.Name == t.Base {
+		l.Comb = append(l.Comb, t)
+	}
+	return t
+}
+
+// StdLib returns the default standard-cell library used by the synthetic
+// benchmarks. Delay numbers are loosely calibrated to a 45 nm-class library:
+// intrinsic delays of 10–40 ps, drive resistances around 1–3 ps/fF, input
+// capacitances of 1–2 fF, flip-flop clk→Q ≈ 60 ps, setup ≈ 45 ps,
+// hold ≈ 25 ps. Absolute accuracy is irrelevant to the reproduced
+// experiments; what matters is that path delays, setup/hold margins, and the
+// clock period interact on the same scale they do in the contest designs.
+func StdLib() *Library {
+	l := &Library{Types: map[string]*CellType{}, variants: map[string][]*CellType{}}
+
+	comb := func(name string, inputs int, intrinsic, drive, icap float64) {
+		l.add(&CellType{
+			Name: name, Kind: KindComb, NumInputs: inputs,
+			Intrinsic: intrinsic, DriveRes: drive, InputCap: icap,
+		})
+		// X2/X4 drive variants: stronger output stage (half/quarter drive
+		// resistance), larger input load, slightly higher intrinsic delay.
+		l.add(&CellType{
+			Name: name + "_X2", Base: name, Kind: KindComb, NumInputs: inputs,
+			Intrinsic: intrinsic * 1.05, DriveRes: drive / 2, InputCap: icap * 1.8,
+		})
+		l.add(&CellType{
+			Name: name + "_X4", Base: name, Kind: KindComb, NumInputs: inputs,
+			Intrinsic: intrinsic * 1.12, DriveRes: drive / 4, InputCap: icap * 3.2,
+		})
+	}
+
+	comb("INV", 1, 10, 1.2, 1.0)
+	comb("BUF", 1, 16, 1.0, 1.0)
+	comb("NAND2", 2, 14, 1.6, 1.2)
+	comb("NOR2", 2, 16, 1.9, 1.2)
+	comb("AND2", 2, 20, 1.5, 1.2)
+	comb("OR2", 2, 22, 1.6, 1.2)
+	comb("XOR2", 2, 30, 2.2, 1.6)
+	comb("AOI21", 3, 24, 2.0, 1.3)
+	comb("MUX2", 3, 28, 1.8, 1.4)
+
+	l.add(&CellType{
+		Name: "DFF", Kind: KindFF,
+		Intrinsic: 0, DriveRes: 1.4, InputCap: 1.5,
+		ClkToQ: 60, Setup: 45, Hold: 25,
+	})
+	l.add(&CellType{
+		Name: "LCB", Kind: KindLCB,
+		Intrinsic: 40, DriveRes: 0.35, InputCap: 2.0,
+	})
+	l.add(&CellType{Name: "PORTIN", Kind: KindPortIn, DriveRes: 0.8})
+	l.add(&CellType{Name: "PORTOUT", Kind: KindPortOut, InputCap: 2.0})
+	l.add(&CellType{Name: "CLKROOT", Kind: KindClockRoot, DriveRes: 0.2})
+
+	return l
+}

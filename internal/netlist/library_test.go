@@ -1,0 +1,87 @@
+package netlist
+
+import (
+	"testing"
+
+	"iterskew/internal/geom"
+)
+
+func TestDriveVariantLadder(t *testing.T) {
+	lib := StdLib()
+	inv := lib.Get("INV")
+	x2 := lib.Upsize(inv)
+	if x2 == nil || x2.Name != "INV_X2" {
+		t.Fatalf("Upsize(INV) = %v", x2)
+	}
+	x4 := lib.Upsize(x2)
+	if x4 == nil || x4.Name != "INV_X4" {
+		t.Fatalf("Upsize(INV_X2) = %v", x4)
+	}
+	if lib.Upsize(x4) != nil {
+		t.Error("Upsize at top of ladder should be nil")
+	}
+	if got := lib.Downsize(x4); got == nil || got.Name != "INV_X2" {
+		t.Errorf("Downsize(INV_X4) = %v", got)
+	}
+	if lib.Downsize(inv) != nil {
+		t.Error("Downsize at bottom should be nil")
+	}
+	// Stronger variants have lower drive resistance and higher input cap.
+	if !(x2.DriveRes < inv.DriveRes && x4.DriveRes < x2.DriveRes) {
+		t.Error("drive resistance not decreasing up the ladder")
+	}
+	if !(x2.InputCap > inv.InputCap && x4.InputCap > x2.InputCap) {
+		t.Error("input cap not increasing up the ladder")
+	}
+	// Variants share the footprint.
+	if x2.NumInputs != inv.NumInputs || x2.Kind != inv.Kind {
+		t.Error("variant footprint mismatch")
+	}
+}
+
+func TestUpsizeAcrossLibraryInstances(t *testing.T) {
+	a, b := StdLib(), StdLib()
+	x2 := b.Upsize(a.Get("NAND2"))
+	if x2 == nil || x2.Name != "NAND2_X2" {
+		t.Errorf("cross-instance Upsize = %v", x2)
+	}
+}
+
+func TestVariantsExcludedFromGeneratorSet(t *testing.T) {
+	lib := StdLib()
+	for _, ct := range lib.Comb {
+		if ct.Name != ct.Base {
+			t.Errorf("generator set contains variant %s", ct.Name)
+		}
+	}
+	if len(lib.Variants(lib.Get("XOR2"))) != 3 {
+		t.Errorf("XOR2 family size = %d, want 3", len(lib.Variants(lib.Get("XOR2"))))
+	}
+}
+
+func TestSwapType(t *testing.T) {
+	lib := StdLib()
+	d := NewDesign("s", 1000)
+	g := d.AddCell("g", lib.Get("NAND2"), geom.Pt(0, 0))
+
+	x2 := lib.Get("NAND2_X2")
+	if !d.SwapType(g, x2) {
+		t.Fatal("compatible swap rejected")
+	}
+	if d.Cells[g].Type != x2 {
+		t.Error("type not swapped")
+	}
+	for _, p := range d.Cells[g].Pins {
+		if d.Pins[p].Dir == DirIn && d.Pins[p].Cap != x2.InputCap {
+			t.Error("input pin cap not updated")
+		}
+	}
+	// Incompatible: different input count.
+	if d.SwapType(g, lib.Get("INV")) {
+		t.Error("incompatible swap accepted")
+	}
+	// Incompatible: different kind.
+	if d.SwapType(g, lib.Get("DFF")) {
+		t.Error("kind-mismatched swap accepted")
+	}
+}

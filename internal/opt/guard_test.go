@@ -1,0 +1,70 @@
+package opt
+
+import (
+	"testing"
+
+	"iterskew/internal/core"
+	"iterskew/internal/netlist"
+	"iterskew/internal/timing"
+)
+
+// TestReconnectGuardMonotone: the per-mode TNS guard guarantees neither
+// corner's TNS ever ends worse than before the pass.
+func TestReconnectGuardMonotone(t *testing.T) {
+	d, _ := buildGrid(t, 300, 20, 24)
+	tm := newTimer(t, d)
+	res := core.Schedule(tm, core.Options{Mode: timing.Late})
+
+	// Snapshot the PHYSICAL baseline (without predictive latencies).
+	for _, ff := range d.FFs {
+		tm.SetExtraLatency(ff, 0)
+	}
+	tm.Update()
+	_, te0 := tm.WNSTNS(timing.Early)
+	_, tl0 := tm.WNSTNS(timing.Late)
+
+	// Re-apply the schedule and run the pass (Reconnect clears extras
+	// itself).
+	for ff, l := range res.Target {
+		tm.SetExtraLatency(ff, l)
+	}
+	tm.Update()
+	r := Reconnect(tm, res.Target, ReconnectOptions{})
+
+	_, te1 := tm.WNSTNS(timing.Early)
+	_, tl1 := tm.WNSTNS(timing.Late)
+	if te1 < te0-1e-6 {
+		t.Errorf("early TNS degraded: %v -> %v (reverted=%d)", te0, te1, r.Reverted)
+	}
+	if tl1 < tl0-1e-6 {
+		t.Errorf("late TNS degraded: %v -> %v (reverted=%d)", tl0, tl1, r.Reverted)
+	}
+}
+
+// TestReconnectMinTargetFilter: tiny targets are skipped entirely.
+func TestReconnectMinTargetFilter(t *testing.T) {
+	d, _ := buildGrid(t, 300, 20, 24)
+	tm := newTimer(t, d)
+	targets := map[netlist.CellID]float64{d.FFs[0]: 0.5, d.FFs[1]: 60}
+	r := Reconnect(tm, targets, ReconnectOptions{MinTarget: 1})
+	if r.Attempted != 1 {
+		t.Errorf("attempted %d targets, want 1 (tiny one filtered)", r.Attempted)
+	}
+}
+
+// TestMoveCellsCustomSteps: a single huge step fraction is honored.
+func TestMoveCellsCustomSteps(t *testing.T) {
+	d, _ := buildGrid(t, 300, 20, 24)
+	tm := newTimer(t, d)
+	res := MoveCells(tm, MoveOptions{StepFractions: []float64{1.0}, MaxPasses: 1})
+	if res.Passes > 1 {
+		t.Errorf("passes = %d, want <= 1", res.Passes)
+	}
+	// Displacement constraint always holds.
+	for i := range d.Cells {
+		c := netlist.CellID(i)
+		if d.Displacement(c) > d.MaxDisp+1e-9 {
+			t.Errorf("cell %d displaced beyond budget", i)
+		}
+	}
+}

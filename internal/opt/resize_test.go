@@ -1,0 +1,134 @@
+package opt
+
+import (
+	"testing"
+
+	"iterskew/internal/core"
+	"iterskew/internal/delay"
+	"iterskew/internal/geom"
+	"iterskew/internal/netlist"
+	"iterskew/internal/timing"
+)
+
+// TestResizeFixesLoadedPath: a late-violating path whose bottleneck is a
+// weak gate driving a heavy multi-fanout load — the textbook sizing
+// candidate.
+func TestResizeFixesLoadedPath(t *testing.T) {
+	lib := netlist.StdLib()
+	d := netlist.NewDesign("sz", 0) // period set below
+	d.Die = geom.RectOf(geom.Pt(0, 0), geom.Pt(5000, 5000))
+	d.MaxDisp = 200
+
+	ffA := d.AddCell("ffA", lib.Get("DFF"), geom.Pt(100, 100))
+	ffB := d.AddCell("ffB", lib.Get("DFF"), geom.Pt(400, 100))
+	weak := d.AddCell("weak", lib.Get("NAND2"), geom.Pt(200, 100))
+	root := d.AddCell("root", lib.Get("CLKROOT"), geom.Pt(0, 0))
+	lcb := d.AddCell("lcb", lib.Get("LCB"), geom.Pt(0, 0))
+
+	sinks := []netlist.PinID{d.FFData(ffB)}
+	var cks []netlist.PinID
+	cks = append(cks, d.FFClock(ffA), d.FFClock(ffB))
+	for i := 0; i < 8; i++ {
+		g := d.AddCell("load", lib.Get("XOR2"), geom.Pt(250+float64(i)*10, 300))
+		sinks = append(sinks, d.Cells[g].Pins[0], d.Cells[g].Pins[1])
+		s := d.AddCell("snk", lib.Get("DFF"), geom.Pt(260+float64(i)*10, 350))
+		d.Connect("nl", d.OutPin(g), d.FFData(s))
+		cks = append(cks, d.FFClock(s))
+	}
+	d.Connect("nq", d.FFQ(ffA), d.Cells[weak].Pins[0], d.Cells[weak].Pins[1])
+	d.Connect("nw", d.OutPin(weak), sinks...)
+	cr := d.Connect("cr", d.OutPin(root), d.LCBIn(lcb))
+	d.Nets[cr].IsClock = true
+	cl := d.Connect("cl", d.LCBOut(lcb), cks...)
+	d.Nets[cl].IsClock = true
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick a period that makes ffB's path violate by a few ps.
+	tmp, err := timing.New(d, delay.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := tmp.ArrivalMax(d.FFData(ffB))
+	d.Period = at - tmp.Latency(ffB) + d.Cells[ffB].Type.Setup - 20
+
+	tm, err := timing.New(d, delay.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eB := tm.EndpointOf(ffB)
+	if tm.LateSlack(eB) >= 0 {
+		t.Fatalf("fixture not violating: %v", tm.LateSlack(eB))
+	}
+	wns0, _ := tm.WNSTNS(timing.Late)
+	earlyBefore, _ := tm.WNSTNS(timing.Early)
+
+	res := ResizeCells(tm, ResizeOptions{})
+	if res.Upsized == 0 {
+		t.Fatal("nothing upsized")
+	}
+	wns1, _ := tm.WNSTNS(timing.Late)
+	if wns1 <= wns0 {
+		t.Errorf("late WNS did not improve: %v -> %v", wns0, wns1)
+	}
+	if earlyAfter, _ := tm.WNSTNS(timing.Early); earlyAfter < earlyBefore-1e-6 {
+		t.Errorf("early timing degraded: %v -> %v", earlyBefore, earlyAfter)
+	}
+	if d.Cells[weak].Type == lib.Get("NAND2") {
+		t.Error("the weak driver was not upsized")
+	}
+	_ = ffA
+}
+
+// TestResizeNoViolationsNoOp: nothing resized on a clean design.
+func TestResizeNoViolationsNoOp(t *testing.T) {
+	lib := netlist.StdLib()
+	d := netlist.NewDesign("clean", 5000)
+	d.Die = geom.RectOf(geom.Pt(0, 0), geom.Pt(1000, 1000))
+	ffA := d.AddCell("ffA", lib.Get("DFF"), geom.Pt(0, 0))
+	ffB := d.AddCell("ffB", lib.Get("DFF"), geom.Pt(10, 0))
+	g := d.AddCell("g", lib.Get("INV"), geom.Pt(5, 0))
+	root := d.AddCell("root", lib.Get("CLKROOT"), geom.Pt(0, 0))
+	lcb := d.AddCell("lcb", lib.Get("LCB"), geom.Pt(0, 0))
+	d.Connect("n1", d.FFQ(ffA), d.Cells[g].Pins[0])
+	d.Connect("n2", d.OutPin(g), d.FFData(ffB))
+	cr := d.Connect("cr", d.OutPin(root), d.LCBIn(lcb))
+	d.Nets[cr].IsClock = true
+	cl := d.Connect("cl", d.LCBOut(lcb), d.FFClock(ffA), d.FFClock(ffB))
+	d.Nets[cl].IsClock = true
+	tm, err := timing.New(d, delay.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ResizeCells(tm, ResizeOptions{})
+	if res.Upsized != 0 {
+		t.Errorf("upsized %d on a clean design", res.Upsized)
+	}
+	if d.Cells[g].Type != lib.Get("INV") {
+		t.Error("gate type changed")
+	}
+}
+
+// TestResizeWithCSS: sizing composes with clock skew scheduling — running
+// both recovers at least as much TNS as CSS alone on a generated design.
+func TestResizeWithCSS(t *testing.T) {
+	// Use the chain fixture from the opt tests.
+	d, _ := buildGrid(t, 300, 20, 24)
+	d2 := d.Clone()
+
+	tmCSS := newTimer(t, d)
+	r := core.Schedule(tmCSS, core.Options{Mode: timing.Late})
+	Optimize(tmCSS, r.Target, Options{})
+	_, tnsCSS := tmCSS.WNSTNS(timing.Late)
+
+	tmBoth := newTimer(t, d2)
+	r2 := core.Schedule(tmBoth, core.Options{Mode: timing.Late})
+	Optimize(tmBoth, r2.Target, Options{})
+	ResizeCells(tmBoth, ResizeOptions{})
+	_, tnsBoth := tmBoth.WNSTNS(timing.Late)
+
+	if tnsBoth < tnsCSS-1e-6 {
+		t.Errorf("CSS+sizing (%v) worse than CSS alone (%v)", tnsBoth, tnsCSS)
+	}
+}

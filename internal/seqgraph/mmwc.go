@@ -1,0 +1,159 @@
+package seqgraph
+
+import (
+	"math"
+)
+
+// This file implements the classical foundation the paper builds on
+// (§II-B): graph-based clock skew scheduling as a maximum mean weight cycle
+// (MMWC) problem [Albrecht et al., DAM 2002]. Given per-edge path delays,
+// the minimum achievable clock period of a design under unrestricted skew
+// equals the maximum over all cycles of the mean cycle delay; equivalently,
+// under the slack-weight formulation used here, the best achievable uniform
+// slack is bounded by the maximum mean cycle weight of the sequential graph.
+//
+// The implementation uses Lawler's binary search: a candidate value λ is
+// feasible iff the graph with weights w(e) − λ has no positive-weight cycle,
+// which a Bellman–Ford style longest-path relaxation detects exactly.
+
+// MaxMeanCycle returns the maximum mean weight over all directed cycles of
+// the included edge subset, and one witness cycle. ok is false if the
+// subgraph is acyclic.
+//
+// For slack weights (negative = violating), the result is the optimum the
+// paper's cycle handling (§III-B2) converges to on that cycle: no skew
+// assignment can push every cycle edge above the cycle's mean weight.
+func (g *Graph) MaxMeanCycle(w []float64, include func(eid int32) bool) (mean float64, cycle *Cycle, ok bool) {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0, nil, false
+	}
+	var lo, hi float64
+	lo, hi = math.Inf(1), math.Inf(-1)
+	any := false
+	for eid := range g.Edges {
+		if include != nil && !include(int32(eid)) {
+			continue
+		}
+		any = true
+		if w[eid] < lo {
+			lo = w[eid]
+		}
+		if w[eid] > hi {
+			hi = w[eid]
+		}
+	}
+	if !any {
+		return 0, nil, false
+	}
+	// Quick acyclicity check at λ below every weight: if even then no
+	// positive cycle exists, the subgraph is a DAG.
+	if c := g.positiveCycle(w, include, lo-1); c == nil {
+		return 0, nil, false
+	}
+
+	// Binary search λ ∈ [lo, hi]; the mean of any cycle lies in that range.
+	var witness *Cycle
+	for iter := 0; iter < 64 && hi-lo > 1e-9*(1+math.Abs(hi)); iter++ {
+		mid := (lo + hi) / 2
+		if c := g.positiveCycle(w, include, mid); c != nil {
+			witness = c
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	// Refine the mean from the witness cycle itself (exact, not the
+	// binary-search midpoint).
+	if witness != nil {
+		return witness.MeanWeight(w), witness, true
+	}
+	return lo, nil, true
+}
+
+// NegativeMeanCycle returns some cycle of the included subgraph whose mean
+// weight is below -tol, or nil if none exists. It is the detector the
+// iterative algorithm uses for §III-B2 when arborescence construction does
+// not chain a cycle's edges itself: a negative-mean cycle bounds the
+// achievable slack at its mean, no matter how latencies are assigned.
+func (g *Graph) NegativeMeanCycle(w []float64, include func(eid int32) bool, tol float64) *Cycle {
+	neg := make([]float64, len(w))
+	for i := range w {
+		neg[i] = -w[i]
+	}
+	return g.positiveCycle(neg, include, tol)
+}
+
+// positiveCycle looks for a cycle with mean weight > λ: it runs n rounds of
+// longest-path relaxation on weights w−λ and walks predecessor links from
+// any vertex still relaxing.
+func (g *Graph) positiveCycle(w []float64, include func(eid int32) bool, lambda float64) *Cycle {
+	n := g.NumVertices()
+	dist := make([]float64, n) // start everything at 0: any positive cycle inflates
+	predE := make([]int32, n)
+	for i := range predE {
+		predE[i] = -1
+	}
+	var last VertexID = NoVertex
+	for round := 0; round <= n; round++ {
+		last = NoVertex
+		for eid := range g.Edges {
+			if include != nil && !include(int32(eid)) {
+				continue
+			}
+			e := &g.Edges[eid]
+			if nd := dist[e.From] + w[eid] - lambda; nd > dist[e.To]+1e-12 {
+				dist[e.To] = nd
+				predE[e.To] = int32(eid)
+				last = e.To
+			}
+		}
+		if last == NoVertex {
+			return nil // converged: no positive cycle
+		}
+	}
+	// Still relaxing after n rounds: a positive cycle is reachable through
+	// the predecessor chain of `last`. Walk n steps to land inside it.
+	v := last
+	for i := 0; i < n; i++ {
+		v = g.Edges[predE[v]].From
+	}
+	// Collect the cycle.
+	var verts []VertexID
+	var edges []int32
+	for u := v; ; {
+		eid := predE[u]
+		verts = append(verts, u)
+		edges = append(edges, eid)
+		u = g.Edges[eid].From
+		if u == v {
+			break
+		}
+	}
+	// verts/edges were collected walking backwards (each edge enters the
+	// previous vertex); reverse into forward order and align edges so that
+	// Edges[i] goes Vertices[i] → Vertices[i+1].
+	for i, j := 0, len(verts)-1; i < j; i, j = i+1, j-1 {
+		verts[i], verts[j] = verts[j], verts[i]
+		edges[i], edges[j] = edges[j], edges[i]
+	}
+	// After reversal, edges[i] is the edge entering verts[i]; rotate left so
+	// edges[i] leaves verts[i].
+	first := edges[0]
+	copy(edges, edges[1:])
+	edges[len(edges)-1] = first
+	return &Cycle{Vertices: verts, Edges: edges}
+}
+
+// MinimumPeriodDelta computes how much the clock period could be reduced
+// (positive) or must be increased (negative) for the included edges to be
+// schedulable with unrestricted skew: it is the maximum mean cycle weight of
+// the slack graph, the classical CSS optimum of [8]. Acyclic graphs are
+// schedulable to any period (returns +Inf, false witness).
+func (g *Graph) MinimumPeriodDelta(w []float64, include func(eid int32) bool) (delta float64, cycle *Cycle, cyclic bool) {
+	mean, c, ok := g.MaxMeanCycle(w, include)
+	if !ok {
+		return math.Inf(1), nil, false
+	}
+	return mean, c, true
+}

@@ -1,0 +1,191 @@
+package seqgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"iterskew/internal/netlist"
+	"iterskew/internal/timing"
+)
+
+func mkGraph(edges [][2]netlist.CellID, ws []float64) (*Graph, []float64) {
+	g := New()
+	noPort := func(netlist.CellID) bool { return false }
+	w := make([]float64, 0, len(edges))
+	for i, e := range edges {
+		g.AddSeqEdge(timing.SeqEdge{Launch: e[0], Capture: e[1], Mode: timing.Late}, noPort)
+		w = append(w, ws[i])
+	}
+	return g, w
+}
+
+func TestMaxMeanCycleTriangle(t *testing.T) {
+	g, w := mkGraph([][2]netlist.CellID{{1, 2}, {2, 3}, {3, 1}}, []float64{-6, -3, -2})
+	mean, cyc, ok := g.MaxMeanCycle(w, nil)
+	if !ok {
+		t.Fatal("cycle not found")
+	}
+	want := (-6.0 - 3.0 - 2.0) / 3.0
+	if math.Abs(mean-want) > 1e-9 {
+		t.Errorf("mean = %v, want %v", mean, want)
+	}
+	if cyc == nil || len(cyc.Edges) != 3 {
+		t.Fatalf("witness cycle malformed: %+v", cyc)
+	}
+	// Witness is a real cycle with the reported mean.
+	if math.Abs(cyc.MeanWeight(w)-want) > 1e-9 {
+		t.Errorf("witness mean = %v", cyc.MeanWeight(w))
+	}
+	for i, eid := range cyc.Edges {
+		e := g.Edges[eid]
+		if e.From != cyc.Vertices[i] || e.To != cyc.Vertices[(i+1)%len(cyc.Vertices)] {
+			t.Fatalf("witness edge %d misaligned", i)
+		}
+	}
+}
+
+func TestMaxMeanCyclePicksMaximum(t *testing.T) {
+	// Two disjoint cycles: mean -4 and mean -1.5; the max is -1.5.
+	g, w := mkGraph([][2]netlist.CellID{
+		{1, 2}, {2, 1}, // means (-5-3)/2 = -4
+		{3, 4}, {4, 3}, // means (-1-2)/2 = -1.5
+	}, []float64{-5, -3, -1, -2})
+	mean, _, ok := g.MaxMeanCycle(w, nil)
+	if !ok {
+		t.Fatal("no cycle found")
+	}
+	if math.Abs(mean-(-1.5)) > 1e-9 {
+		t.Errorf("mean = %v, want -1.5", mean)
+	}
+}
+
+func TestMaxMeanCycleAcyclic(t *testing.T) {
+	g, w := mkGraph([][2]netlist.CellID{{1, 2}, {2, 3}, {1, 3}}, []float64{-5, -3, -2})
+	if _, _, ok := g.MaxMeanCycle(w, nil); ok {
+		t.Error("acyclic graph reported a cycle")
+	}
+	delta, _, cyclic := g.MinimumPeriodDelta(w, nil)
+	if cyclic || !math.IsInf(delta, 1) {
+		t.Errorf("acyclic MinimumPeriodDelta = %v cyclic=%v", delta, cyclic)
+	}
+}
+
+func TestMaxMeanCycleRespectsInclude(t *testing.T) {
+	g, w := mkGraph([][2]netlist.CellID{
+		{1, 2}, {2, 1},
+		{3, 4}, {4, 3},
+	}, []float64{-5, -3, -1, -2})
+	// Exclude the better cycle.
+	include := func(eid int32) bool { return eid < 2 }
+	mean, _, ok := g.MaxMeanCycle(w, include)
+	if !ok {
+		t.Fatal("no cycle")
+	}
+	if math.Abs(mean-(-4)) > 1e-9 {
+		t.Errorf("restricted mean = %v, want -4", mean)
+	}
+}
+
+func TestMaxMeanCyclePositiveWeights(t *testing.T) {
+	// Works for positive weights too (delay-style formulation).
+	g, w := mkGraph([][2]netlist.CellID{{1, 2}, {2, 1}}, []float64{7, 3})
+	mean, _, ok := g.MaxMeanCycle(w, nil)
+	if !ok || math.Abs(mean-5) > 1e-9 {
+		t.Errorf("mean = %v ok=%v, want 5", mean, ok)
+	}
+}
+
+// TestMaxMeanCycleAgainstBruteForce cross-checks the binary search against
+// exhaustive simple-cycle enumeration on small random graphs.
+func TestMaxMeanCycleAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(4)
+		g := New()
+		noPort := func(netlist.CellID) bool { return false }
+		var w []float64
+		for i := 0; i < 3+rng.Intn(8); i++ {
+			u := netlist.CellID(rng.Intn(n))
+			v := netlist.CellID(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if _, isNew := g.AddSeqEdge(timing.SeqEdge{Launch: u, Capture: v, Mode: timing.Late}, noPort); isNew {
+				w = append(w, -float64(rng.Intn(20))-1)
+			}
+		}
+		if len(g.Edges) == 0 {
+			continue
+		}
+
+		want, found := bruteForceMaxMean(g, w)
+		mean, cyc, ok := g.MaxMeanCycle(w, nil)
+		if ok != found {
+			t.Fatalf("trial %d: ok=%v, brute force found=%v", trial, ok, found)
+		}
+		if !found {
+			continue
+		}
+		if math.Abs(mean-want) > 1e-6 {
+			t.Fatalf("trial %d: mean=%v, brute force=%v", trial, mean, want)
+		}
+		if cyc != nil && math.Abs(cyc.MeanWeight(w)-want) > 1e-6 {
+			t.Fatalf("trial %d: witness mean=%v, want %v", trial, cyc.MeanWeight(w), want)
+		}
+	}
+}
+
+// bruteForceMaxMean enumerates all simple cycles by DFS.
+func bruteForceMaxMean(g *Graph, w []float64) (float64, bool) {
+	best := math.Inf(-1)
+	found := false
+	n := g.NumVertices()
+	var path []int32
+	onPath := make([]bool, n)
+
+	var dfs func(start, v VertexID, sum float64)
+	dfs = func(start, v VertexID, sum float64) {
+		for _, eid := range g.Out[v] {
+			e := &g.Edges[eid]
+			if e.To == start {
+				mean := (sum + w[eid]) / float64(len(path)+1)
+				if mean > best {
+					best = mean
+				}
+				found = true
+				continue
+			}
+			if e.To < start || onPath[e.To] {
+				continue // canonical: cycles rooted at their smallest vertex
+			}
+			onPath[e.To] = true
+			path = append(path, eid)
+			dfs(start, e.To, sum+w[eid])
+			path = path[:len(path)-1]
+			onPath[e.To] = false
+		}
+	}
+	for s := VertexID(0); s < VertexID(n); s++ {
+		onPath[s] = true
+		dfs(s, s, 0)
+		onPath[s] = false
+	}
+	return best, found
+}
+
+// TestMMWCMatchesCycleHandling: the cycle-mean bound that MaxMeanCycle
+// computes is what the iterative algorithm's cycle handling achieves.
+func TestMMWCMatchesCycleHandling(t *testing.T) {
+	g, w := mkGraph([][2]netlist.CellID{{1, 2}, {2, 3}, {3, 1}}, []float64{-9, -3, 0})
+	mean, _, ok := g.MaxMeanCycle(w, nil)
+	if !ok {
+		t.Fatal("no cycle")
+	}
+	// Equalizing the cycle at its mean: each edge ends at the mean weight,
+	// and no assignment does better for the worst edge.
+	if math.Abs(mean-(-4)) > 1e-9 {
+		t.Errorf("mean = %v, want -4", mean)
+	}
+	_ = w
+}

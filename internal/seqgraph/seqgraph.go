@@ -1,0 +1,341 @@
+// Package seqgraph implements the sequential graph of the paper (§II-A): a
+// directed graph whose vertices are sequential elements (flip-flops plus I/O
+// supernodes) and whose edges are timing paths, together with the
+// non-negative-latency arborescence machinery of §III-C2.
+//
+// Edge orientation is unified so that raising the latency of an edge's HEAD
+// by δ (relative to its tail) raises the edge's slack by δ (Eq 3):
+//
+//   - late edge:  launch → capture, weight s^L;
+//   - early edge: capture → launch, weight s^E.
+//
+// Edge weights are not stored in the graph: they depend on the current
+// latencies and are (re-)evaluated by the scheduling algorithms via the
+// timer (the incremental weight update of Eq 10). The graph stores the
+// latency-independent path delays.
+package seqgraph
+
+import (
+	"sort"
+
+	"iterskew/internal/netlist"
+	"iterskew/internal/timing"
+)
+
+// VertexID indexes Graph vertices.
+type VertexID int32
+
+// NoVertex means "absent".
+const NoVertex VertexID = -1
+
+// Edge is a sequential edge in unified orientation.
+type Edge struct {
+	From, To VertexID
+	Seq      timing.SeqEdge
+}
+
+// Graph is a (partial) sequential graph. Vertices are created lazily as
+// edges referencing them are added, so a graph built from essential edges
+// only contains the vertices that matter.
+type Graph struct {
+	Cells  []netlist.CellID // vertex -> sequential cell
+	Frozen []bool           // vertex may not receive latency (ports, fixed cycles)
+	IsPort []bool
+
+	Edges []Edge
+	Out   [][]int32 // outgoing edge indices per vertex
+	In    [][]int32 // incoming edge indices per vertex
+
+	idx     map[netlist.CellID]VertexID
+	edgeIdx map[edgeKey]int32
+}
+
+type edgeKey struct {
+	from, to VertexID
+	mode     timing.Mode
+}
+
+// New returns an empty sequential graph.
+func New() *Graph {
+	return &Graph{
+		idx:     map[netlist.CellID]VertexID{},
+		edgeIdx: map[edgeKey]int32{},
+	}
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.Cells) }
+
+// Vertex returns the vertex for a sequential cell, creating it if needed.
+// Ports are created frozen: their latency is fixed at zero.
+func (g *Graph) Vertex(cell netlist.CellID, isPort bool) VertexID {
+	if v, ok := g.idx[cell]; ok {
+		return v
+	}
+	v := VertexID(len(g.Cells))
+	g.Cells = append(g.Cells, cell)
+	g.Frozen = append(g.Frozen, isPort)
+	g.IsPort = append(g.IsPort, isPort)
+	g.Out = append(g.Out, nil)
+	g.In = append(g.In, nil)
+	g.idx[cell] = v
+	return v
+}
+
+// Lookup returns the vertex for a cell without creating it.
+func (g *Graph) Lookup(cell netlist.CellID) VertexID {
+	if v, ok := g.idx[cell]; ok {
+		return v
+	}
+	return NoVertex
+}
+
+// Freeze marks a vertex as latency-fixed (used after cycle handling).
+func (g *Graph) Freeze(v VertexID) { g.Frozen[v] = true }
+
+// orient returns the unified (from, to) vertex pair of a sequential edge.
+func orient(e timing.SeqEdge, launch, capture VertexID) (from, to VertexID) {
+	if e.Mode == timing.Late {
+		return launch, capture
+	}
+	return capture, launch
+}
+
+// AddSeqEdge inserts (or refreshes) a sequential edge, creating vertices as
+// needed. isPort reports whether a cell is an I/O port. It returns the edge
+// index and whether the edge was newly added (false means an existing edge's
+// path delay was refreshed).
+func (g *Graph) AddSeqEdge(e timing.SeqEdge, isPort func(netlist.CellID) bool) (int32, bool) {
+	lv := g.Vertex(e.Launch, isPort(e.Launch))
+	cv := g.Vertex(e.Capture, isPort(e.Capture))
+	from, to := orient(e, lv, cv)
+	key := edgeKey{from, to, e.Mode}
+	if id, ok := g.edgeIdx[key]; ok {
+		// Keep the worst path delay for the pair: the larger for late
+		// edges, the smaller for early ones.
+		if (e.Mode == timing.Late && e.Delay > g.Edges[id].Seq.Delay) ||
+			(e.Mode == timing.Early && e.Delay < g.Edges[id].Seq.Delay) {
+			g.Edges[id].Seq.Delay = e.Delay
+		}
+		return id, false
+	}
+	id := int32(len(g.Edges))
+	g.Edges = append(g.Edges, Edge{From: from, To: to, Seq: e})
+	g.Out[from] = append(g.Out[from], id)
+	g.In[to] = append(g.In[to], id)
+	g.edgeIdx[key] = id
+	return id, true
+}
+
+// WOut computes the per-vertex minimum outgoing weight of Eq (6) under the
+// given edge weights, restricted to the given edge subset (nil = all).
+// Vertices with no outgoing edges get +Inf... represented as math.MaxFloat64
+// by the caller's convention; here we return a slice where such entries stay
+// at the sentinel passed in def.
+func (g *Graph) WOut(w []float64, include func(eid int32) bool, def float64) []float64 {
+	res := make([]float64, g.NumVertices())
+	for i := range res {
+		res[i] = def
+	}
+	for eid := range g.Edges {
+		if include != nil && !include(int32(eid)) {
+			continue
+		}
+		e := &g.Edges[eid]
+		if w[eid] < res[e.From] {
+			res[e.From] = w[eid]
+		}
+	}
+	return res
+}
+
+// Forest is a set of arborescences over the graph's vertices together with
+// the α/β path functions of Eq (7).
+type Forest struct {
+	ParentEdge []int32 // edge id linking the vertex to its parent; -1 for roots/unattached
+	ParentV    []VertexID
+	Alpha      []float64 // Σ edge weights on the root→v tree path
+	Beta       []int32   // tree depth of v (root = 0)
+	InTree     []bool
+	Order      []VertexID // tree vertices, parents before children
+}
+
+// Cycle is a cycle detected during arborescence construction: the tree path
+// from Vertices[0] down to Vertices[len-1], closed by Edges[len-1] back to
+// Vertices[0]. Edges[i] connects Vertices[i] → Vertices[i+1].
+type Cycle struct {
+	Vertices []VertexID
+	Edges    []int32
+}
+
+// MeanWeight returns the average edge weight w_C^avg of the cycle (§III-B2).
+func (c *Cycle) MeanWeight(w []float64) float64 {
+	var sum float64
+	for _, e := range c.Edges {
+		sum += w[e]
+	}
+	return sum / float64(len(c.Edges))
+}
+
+// BuildForest constructs non-negative-latency arborescences (§III-C2) from
+// the essential edges: edges are considered in ascending weight order and
+// e(u,v) is attached iff v is unattached, not frozen, and w(u,v) < w_v^out
+// (the Eq-6 condition that keeps weights non-decreasing from root to leaf,
+// which guarantees non-negative latencies).
+//
+// If attaching an edge would close a cycle (its head is a tree ancestor of
+// its tail), construction stops and the cycle is returned; per Alg 1 the
+// caller fixes the cycle's latencies and reiterates. include selects the
+// essential edge subset (nil = all edges).
+func (g *Graph) BuildForest(w []float64, include func(eid int32) bool, def float64) (*Forest, *Cycle) {
+	return g.buildForest(w, include, def, true)
+}
+
+// BuildForestLoose is BuildForest without the §III-C2 non-decreasing
+// condition. It exists ONLY for the ablation study (experiment A2): it can
+// produce arborescences whose mean-weight latency assignment goes negative.
+func (g *Graph) BuildForestLoose(w []float64, include func(eid int32) bool, def float64) (*Forest, *Cycle) {
+	return g.buildForest(w, include, def, false)
+}
+
+func (g *Graph) buildForest(w []float64, include func(eid int32) bool, def float64, enforceNonDecreasing bool) (*Forest, *Cycle) {
+	n := g.NumVertices()
+	f := &Forest{
+		ParentEdge: make([]int32, n),
+		ParentV:    make([]VertexID, n),
+		Alpha:      make([]float64, n),
+		Beta:       make([]int32, n),
+		InTree:     make([]bool, n),
+	}
+	for i := range f.ParentEdge {
+		f.ParentEdge[i] = -1
+		f.ParentV[i] = NoVertex
+	}
+
+	wOut := g.WOut(w, include, def)
+
+	order := make([]int32, 0, len(g.Edges))
+	for eid := range g.Edges {
+		if include == nil || include(int32(eid)) {
+			order = append(order, int32(eid))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if w[a] != w[b] {
+			return w[a] < w[b]
+		}
+		if g.Edges[a].From != g.Edges[b].From {
+			return g.Edges[a].From < g.Edges[b].From
+		}
+		return g.Edges[a].To < g.Edges[b].To
+	})
+
+	enter := func(v VertexID) {
+		if !f.InTree[v] {
+			f.InTree[v] = true
+			f.Order = append(f.Order, v)
+		}
+	}
+
+	for _, eid := range order {
+		e := &g.Edges[eid]
+		u, v := e.From, e.To
+		if g.Frozen[v] {
+			continue // frozen heads are capped via their virtual endpoints
+		}
+		// Ancestor check first: if v is a tree ancestor of u, this edge
+		// closes a cycle in the essential graph — report it even when the
+		// edge would otherwise be rejected, since the cycle bounds how much
+		// slack CSS can recover (§III-B2).
+		cyc := false
+		for a := u; a != NoVertex; a = f.ParentV[a] {
+			if a == v {
+				cyc = true
+				break
+			}
+		}
+		if cyc {
+			// Reconstruct the cycle: tree path v → … → u plus edge u→v.
+			var rev []VertexID
+			var revE []int32
+			for a := u; a != v; a = f.ParentV[a] {
+				rev = append(rev, a)
+				revE = append(revE, f.ParentEdge[a])
+			}
+			c := &Cycle{}
+			c.Vertices = append(c.Vertices, v)
+			for i := len(rev) - 1; i >= 0; i-- {
+				c.Vertices = append(c.Vertices, rev[i])
+				c.Edges = append(c.Edges, revE[i])
+			}
+			c.Edges = append(c.Edges, eid) // closing edge u→v
+			return f, c
+		}
+		if f.ParentEdge[v] != -1 {
+			continue // arborescence: at most one incoming tree edge
+		}
+		if enforceNonDecreasing && !(w[eid] < wOut[v]) {
+			// Attaching would break the non-decreasing property (§III-C2).
+			// Vertices without included outgoing edges have wOut = def
+			// (+Inf from callers) and are always safe leaves.
+			continue
+		}
+		enter(u)
+		enter(v)
+		f.ParentEdge[v] = eid
+		f.ParentV[v] = u
+		f.Alpha[v] = f.Alpha[u] + w[eid]
+		f.Beta[v] = f.Beta[u] + 1
+	}
+
+	// Alpha/Beta above were accumulated in attachment order; if a parent was
+	// attached after its child (impossible here because a vertex with a
+	// parent is never re-parented and parents are entered before children in
+	// each attachment), values are consistent. Recompute defensively in tree
+	// order to keep the invariant independent of attachment order.
+	f.recomputeAlphaBeta(g, w)
+	return f, nil
+}
+
+// recomputeAlphaBeta refreshes Alpha/Beta in root-to-leaf order.
+func (f *Forest) recomputeAlphaBeta(g *Graph, w []float64) {
+	// Children lists.
+	n := len(f.ParentEdge)
+	children := make([][]VertexID, n)
+	roots := f.Order[:0:0]
+	for _, v := range f.Order {
+		if f.ParentV[v] == NoVertex {
+			roots = append(roots, v)
+		} else {
+			children[f.ParentV[v]] = append(children[f.ParentV[v]], v)
+		}
+	}
+	order := make([]VertexID, 0, len(f.Order))
+	stack := append([]VertexID(nil), roots...)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, v)
+		if p := f.ParentV[v]; p == NoVertex {
+			f.Alpha[v] = 0
+			f.Beta[v] = 0
+		} else {
+			f.Alpha[v] = f.Alpha[p] + w[f.ParentEdge[v]]
+			f.Beta[v] = f.Beta[p] + 1
+		}
+		stack = append(stack, children[v]...)
+	}
+	f.Order = order
+}
+
+// Roots returns the tree roots in Order.
+func (f *Forest) Roots() []VertexID {
+	var r []VertexID
+	for _, v := range f.Order {
+		if f.ParentV[v] == NoVertex {
+			r = append(r, v)
+		}
+	}
+	return r
+}

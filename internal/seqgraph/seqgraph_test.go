@@ -1,0 +1,368 @@
+package seqgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"iterskew/internal/netlist"
+	"iterskew/internal/timing"
+)
+
+func noPorts(netlist.CellID) bool { return false }
+
+func lateEdge(launch, capture netlist.CellID, delay float64) timing.SeqEdge {
+	return timing.SeqEdge{Launch: launch, Capture: capture, Delay: delay, Mode: timing.Late}
+}
+
+func earlyEdge(launch, capture netlist.CellID, delay float64) timing.SeqEdge {
+	return timing.SeqEdge{Launch: launch, Capture: capture, Delay: delay, Mode: timing.Early}
+}
+
+func TestVertexCreationAndLookup(t *testing.T) {
+	g := New()
+	v1 := g.Vertex(7, false)
+	v2 := g.Vertex(9, true)
+	if v1 == v2 {
+		t.Fatal("distinct cells share a vertex")
+	}
+	if g.Vertex(7, false) != v1 {
+		t.Error("Vertex not idempotent")
+	}
+	if g.Lookup(7) != v1 || g.Lookup(9) != v2 {
+		t.Error("Lookup mismatch")
+	}
+	if g.Lookup(42) != NoVertex {
+		t.Error("Lookup of unknown cell != NoVertex")
+	}
+	if !g.Frozen[v2] || !g.IsPort[v2] {
+		t.Error("port vertex not frozen")
+	}
+	if g.Frozen[v1] {
+		t.Error("FF vertex frozen at creation")
+	}
+}
+
+func TestEdgeOrientation(t *testing.T) {
+	g := New()
+	// Late edge: launch → capture.
+	idL, _ := g.AddSeqEdge(lateEdge(1, 2, 100), noPorts)
+	eL := g.Edges[idL]
+	if g.Cells[eL.From] != 1 || g.Cells[eL.To] != 2 {
+		t.Errorf("late edge orientation: %d -> %d", g.Cells[eL.From], g.Cells[eL.To])
+	}
+	// Early edge: capture → launch.
+	idE, _ := g.AddSeqEdge(earlyEdge(1, 2, 40), noPorts)
+	eE := g.Edges[idE]
+	if g.Cells[eE.From] != 2 || g.Cells[eE.To] != 1 {
+		t.Errorf("early edge orientation: %d -> %d", g.Cells[eE.From], g.Cells[eE.To])
+	}
+}
+
+func TestAddSeqEdgeDedupe(t *testing.T) {
+	g := New()
+	id1, added1 := g.AddSeqEdge(lateEdge(1, 2, 100), noPorts)
+	if !added1 {
+		t.Fatal("first add not new")
+	}
+	// Same pair, worse (longer) late delay: refresh in place.
+	id2, added2 := g.AddSeqEdge(lateEdge(1, 2, 130), noPorts)
+	if added2 || id2 != id1 {
+		t.Fatal("duplicate late edge not deduped")
+	}
+	if g.Edges[id1].Seq.Delay != 130 {
+		t.Errorf("delay not refreshed to worst: %v", g.Edges[id1].Seq.Delay)
+	}
+	// Better (shorter) late delay: keep the worst.
+	g.AddSeqEdge(lateEdge(1, 2, 90), noPorts)
+	if g.Edges[id1].Seq.Delay != 130 {
+		t.Errorf("delay regressed: %v", g.Edges[id1].Seq.Delay)
+	}
+	// Early edges keep the minimum.
+	id3, _ := g.AddSeqEdge(earlyEdge(3, 4, 50), noPorts)
+	g.AddSeqEdge(earlyEdge(3, 4, 30), noPorts)
+	if g.Edges[id3].Seq.Delay != 30 {
+		t.Errorf("early delay not refreshed to worst: %v", g.Edges[id3].Seq.Delay)
+	}
+	// A late and an early edge between the same ordered pair coexist.
+	g2 := New()
+	a, _ := g2.AddSeqEdge(lateEdge(1, 2, 100), noPorts)
+	b, _ := g2.AddSeqEdge(earlyEdge(2, 1, 10), noPorts) // also oriented 1→2
+	if a == b {
+		t.Error("late and early edges collapsed")
+	}
+}
+
+func TestWOut(t *testing.T) {
+	g := New()
+	g.AddSeqEdge(lateEdge(1, 2, 0), noPorts) // edge 0: v1→v2
+	g.AddSeqEdge(lateEdge(1, 3, 0), noPorts) // edge 1: v1→v3
+	g.AddSeqEdge(lateEdge(2, 3, 0), noPorts) // edge 2: v2→v3
+	w := []float64{-5, -2, -7}
+	inf := math.Inf(1)
+	wout := g.WOut(w, nil, inf)
+	v1, v2, v3 := g.Lookup(1), g.Lookup(2), g.Lookup(3)
+	if wout[v1] != -5 {
+		t.Errorf("wOut(v1) = %v, want -5", wout[v1])
+	}
+	if wout[v2] != -7 {
+		t.Errorf("wOut(v2) = %v, want -7", wout[v2])
+	}
+	if wout[v3] != inf {
+		t.Errorf("wOut(v3) = %v, want +Inf", wout[v3])
+	}
+	// Restricted subset.
+	wout = g.WOut(w, func(e int32) bool { return e != 2 }, inf)
+	if wout[v2] != inf {
+		t.Errorf("restricted wOut(v2) = %v, want +Inf", wout[v2])
+	}
+}
+
+// TestForestChain reproduces the α/β structure of the paper's Fig 5: a chain
+// with increasing weights root→u (−5) and u→z (−3).
+func TestForestChain(t *testing.T) {
+	g := New()
+	e0, _ := g.AddSeqEdge(lateEdge(10, 11, 0), noPorts) // root→u
+	e1, _ := g.AddSeqEdge(lateEdge(11, 12, 0), noPorts) // u→z
+	w := make([]float64, len(g.Edges))
+	w[e0], w[e1] = -5, -3
+
+	f, cyc := g.BuildForest(w, nil, math.Inf(1))
+	if cyc != nil {
+		t.Fatal("unexpected cycle")
+	}
+	root, u, z := g.Lookup(10), g.Lookup(11), g.Lookup(12)
+	if f.ParentV[u] != root || f.ParentV[z] != u {
+		t.Fatalf("chain structure wrong: parent(u)=%d parent(z)=%d", f.ParentV[u], f.ParentV[z])
+	}
+	if f.Alpha[u] != -5 || f.Beta[u] != 1 {
+		t.Errorf("α(u)=%v β(u)=%d, want -5,1", f.Alpha[u], f.Beta[u])
+	}
+	if f.Alpha[z] != -8 || f.Beta[z] != 2 {
+		t.Errorf("α(z)=%v β(z)=%d, want -8,2", f.Alpha[z], f.Beta[z])
+	}
+	// Fig 5 latency check: with w_end^avg = −2, l = β·w_avg − α ≥ 0.
+	const wEndAvg = -2.0
+	if lu := float64(f.Beta[u])*wEndAvg - f.Alpha[u]; lu != 3 {
+		t.Errorf("l_u = %v, want 3", lu)
+	}
+	if lz := float64(f.Beta[z])*wEndAvg - f.Alpha[z]; lz != 4 {
+		t.Errorf("l_z = %v, want 4", lz)
+	}
+	if len(f.Roots()) != 1 || f.Roots()[0] != root {
+		t.Errorf("roots = %v", f.Roots())
+	}
+}
+
+// TestForestNonDecreasingRejection: an edge whose weight is not strictly
+// below the head's wOut must not be attached (it would create a decreasing
+// path and hence a negative latency).
+func TestForestNonDecreasingRejection(t *testing.T) {
+	g := New()
+	eAB, _ := g.AddSeqEdge(lateEdge(1, 2, 0), noPorts) // a→b
+	eCA, _ := g.AddSeqEdge(lateEdge(3, 1, 0), noPorts) // c→a
+	w := make([]float64, len(g.Edges))
+	w[eAB] = -10
+	w[eCA] = -8 // -8 >= wOut(a) = -10 → must be rejected
+
+	f, cyc := g.BuildForest(w, nil, math.Inf(1))
+	if cyc != nil {
+		t.Fatal("unexpected cycle")
+	}
+	a := g.Lookup(1)
+	if f.ParentV[a] != NoVertex {
+		t.Error("decreasing edge was attached")
+	}
+	b := g.Lookup(2)
+	if f.ParentV[b] != a {
+		t.Error("primary edge not attached")
+	}
+}
+
+func TestForestFrozenHeadSkipped(t *testing.T) {
+	g := New()
+	// Edge into a port vertex (frozen): must never be attached.
+	isPort := func(c netlist.CellID) bool { return c == 99 }
+	eid, _ := g.AddSeqEdge(lateEdge(1, 99, 0), isPort)
+	w := []float64{-4}
+	f, cyc := g.BuildForest(w, nil, math.Inf(1))
+	if cyc != nil {
+		t.Fatal("unexpected cycle")
+	}
+	port := g.Edges[eid].To
+	if f.ParentV[port] != NoVertex {
+		t.Error("frozen vertex received a parent")
+	}
+}
+
+func TestForestCycleDetection(t *testing.T) {
+	g := New()
+	e0, _ := g.AddSeqEdge(lateEdge(1, 2, 0), noPorts) // u→v
+	e1, _ := g.AddSeqEdge(lateEdge(2, 3, 0), noPorts) // v→z
+	e2, _ := g.AddSeqEdge(lateEdge(3, 1, 0), noPorts) // z→u closes the cycle
+	w := make([]float64, len(g.Edges))
+	w[e0], w[e1], w[e2] = -6, -3, -2 // ascending so the chain forms first
+
+	f, cyc := g.BuildForest(w, nil, math.Inf(1))
+	if cyc == nil {
+		t.Fatal("cycle not detected")
+	}
+	if len(cyc.Vertices) != 3 || len(cyc.Edges) != 3 {
+		t.Fatalf("cycle shape: %d vertices, %d edges", len(cyc.Vertices), len(cyc.Edges))
+	}
+	// Paper §III-B2: w_C^avg = (w_uv + w_vz + w_zu)/3.
+	want := (-6.0 - 3.0 - 2.0) / 3.0
+	if got := cyc.MeanWeight(w); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MeanWeight = %v, want %v", got, want)
+	}
+	// The cycle's edge list is consistent: Edges[i] goes Vertices[i]→Vertices[i+1 mod n].
+	for i, eid := range cyc.Edges {
+		e := g.Edges[eid]
+		if e.From != cyc.Vertices[i] {
+			t.Errorf("cycle edge %d: from %d, want %d", i, e.From, cyc.Vertices[i])
+		}
+		next := cyc.Vertices[(i+1)%len(cyc.Vertices)]
+		if e.To != next {
+			t.Errorf("cycle edge %d: to %d, want %d", i, e.To, next)
+		}
+	}
+	_ = f
+}
+
+// TestForestInvariants is a randomized property test: for arbitrary
+// essential-edge sets, the forest must be acyclic, every vertex has at most
+// one parent, weights are non-decreasing along every tree path, and α/β are
+// consistent with the tree structure.
+func TestForestInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		g := New()
+		nV := 2 + rng.Intn(10)
+		nE := 1 + rng.Intn(25)
+		for i := 0; i < nE; i++ {
+			u := netlist.CellID(rng.Intn(nV))
+			v := netlist.CellID(rng.Intn(nV))
+			if u == v {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				g.AddSeqEdge(lateEdge(u, v, float64(rng.Intn(100))), noPorts)
+			} else {
+				g.AddSeqEdge(earlyEdge(u, v, float64(rng.Intn(100))), noPorts)
+			}
+		}
+		if len(g.Edges) == 0 {
+			continue
+		}
+		w := make([]float64, len(g.Edges))
+		for i := range w {
+			w[i] = -float64(rng.Intn(50)) - 1
+		}
+		f, cyc := g.BuildForest(w, nil, math.Inf(1))
+		if cyc != nil {
+			// Verify the reported cycle is a real cycle over graph edges.
+			for i, eid := range cyc.Edges {
+				e := g.Edges[eid]
+				if e.From != cyc.Vertices[i] || e.To != cyc.Vertices[(i+1)%len(cyc.Vertices)] {
+					t.Fatalf("trial %d: reported cycle is not a cycle", trial)
+				}
+			}
+			continue
+		}
+		// Acyclicity + α/β consistency.
+		for _, v := range f.Order {
+			p := f.ParentV[v]
+			if p == NoVertex {
+				if f.Alpha[v] != 0 || f.Beta[v] != 0 {
+					t.Fatalf("trial %d: root with nonzero α/β", trial)
+				}
+				continue
+			}
+			eid := f.ParentEdge[v]
+			if g.Edges[eid].From != p || g.Edges[eid].To != v {
+				t.Fatalf("trial %d: parent edge mismatch", trial)
+			}
+			if f.Alpha[v] != f.Alpha[p]+w[eid] {
+				t.Fatalf("trial %d: α inconsistent", trial)
+			}
+			if f.Beta[v] != f.Beta[p]+1 {
+				t.Fatalf("trial %d: β inconsistent", trial)
+			}
+			// Non-decreasing property along the path: parent edge weight
+			// must be strictly below the head's minimum outgoing weight,
+			// hence ≤ the weight of the child's own parent edges downstream.
+			if pe := f.ParentEdge[p]; pe != -1 {
+				if w[pe] > w[eid] {
+					t.Fatalf("trial %d: weights decrease along tree path (%v then %v)", trial, w[pe], w[eid])
+				}
+			}
+			// Walk to the root: must terminate (acyclic).
+			seen := map[VertexID]bool{}
+			for a := v; a != NoVertex; a = f.ParentV[a] {
+				if seen[a] {
+					t.Fatalf("trial %d: cycle in forest", trial)
+				}
+				seen[a] = true
+			}
+		}
+		// Order lists parents before children.
+		pos := map[VertexID]int{}
+		for i, v := range f.Order {
+			pos[v] = i
+		}
+		for _, v := range f.Order {
+			if p := f.ParentV[v]; p != NoVertex && pos[p] > pos[v] {
+				t.Fatalf("trial %d: child before parent in Order", trial)
+			}
+		}
+	}
+}
+
+// TestNonNegativeLatencyProperty checks the §III-C2 claim directly: on any
+// cycle-free forest built by BuildForest, assigning l_v = β(v)·wEnd − α(v)
+// with wEnd ≥ the maximum tree-path mean gives non-negative latencies when
+// edge weights are non-decreasing root→leaf. We use wEnd = max over leaves
+// of α/β (the average terminal weight bound).
+func TestNonNegativeLatencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		g := New()
+		nV := 3 + rng.Intn(8)
+		for i := 0; i < 20; i++ {
+			u := netlist.CellID(rng.Intn(nV))
+			v := netlist.CellID(rng.Intn(nV))
+			if u == v {
+				continue
+			}
+			g.AddSeqEdge(lateEdge(u, v, 0), noPorts)
+		}
+		if len(g.Edges) == 0 {
+			continue
+		}
+		w := make([]float64, len(g.Edges))
+		for i := range w {
+			w[i] = -float64(rng.Intn(40)) - 1
+		}
+		f, cyc := g.BuildForest(w, nil, math.Inf(1))
+		if cyc != nil {
+			continue
+		}
+		wEnd := math.Inf(-1)
+		for _, v := range f.Order {
+			if f.Beta[v] > 0 {
+				if m := f.Alpha[v] / float64(f.Beta[v]); m > wEnd {
+					wEnd = m
+				}
+			}
+		}
+		if math.IsInf(wEnd, -1) {
+			continue
+		}
+		for _, v := range f.Order {
+			l := float64(f.Beta[v])*wEnd - f.Alpha[v]
+			if l < -1e-9 {
+				t.Fatalf("trial %d: negative latency %v", trial, l)
+			}
+		}
+	}
+}

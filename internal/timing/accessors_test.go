@@ -1,0 +1,95 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"iterskew/internal/geom"
+)
+
+func TestExtraLatencyAccessors(t *testing.T) {
+	f := newFixture(t)
+	tm := f.t
+	if tm.ExtraLatency(f.ffA) != 0 {
+		t.Error("nonzero initial extra latency")
+	}
+	tm.AddExtraLatency(f.ffA, 12)
+	tm.AddExtraLatency(f.ffA, 8)
+	if got := tm.ExtraLatency(f.ffA); got != 20 {
+		t.Errorf("ExtraLatency = %v, want 20", got)
+	}
+	approx(t, "Latency = base+extra", tm.Latency(f.ffA), tm.BaseLatency(f.ffA)+20)
+	// Zero-delta add is a no-op (no dirty marking needed).
+	tm.Update()
+	v := tm.Update()
+	tm.AddExtraLatency(f.ffA, 0)
+	if got := tm.Update(); got != 0 {
+		t.Errorf("zero-delta add propagated %d pins", got)
+	}
+	_ = v
+	// SetExtraLatency to the same value is also a no-op.
+	tm.SetExtraLatency(f.ffA, 20)
+	if got := tm.Update(); got != 0 {
+		t.Errorf("same-value set propagated %d pins", got)
+	}
+}
+
+func TestInvalidateDOut(t *testing.T) {
+	f := newFixture(t)
+	tm := f.t
+	d0 := tm.DOut(f.ffA)
+	// Move gB away: its input wire (in the live launch-delay term) and its
+	// output wire (inside the cached d^out table) both lengthen; only the
+	// former is visible until the table is invalidated (IC-CSS deliberately
+	// computes it once).
+	f.d.MoveCell(f.gB, f.d.Cells[f.gB].Pos.Add(geom.Pt(300, 0)))
+	tm.DirtyCell(f.gB)
+	tm.Update()
+	stale := tm.DOut(f.ffA)
+	if stale <= d0 {
+		t.Fatalf("live launch-delay term did not grow: %v vs %v", stale, d0)
+	}
+	tm.InvalidateDOut()
+	fresh := tm.DOut(f.ffA)
+	if fresh <= stale {
+		t.Errorf("refreshed DOut %v not larger than stale %v (table part missing)", fresh, stale)
+	}
+}
+
+func TestEndpointOfNonSequential(t *testing.T) {
+	f := newFixture(t)
+	if f.t.EndpointOf(f.gA) != NoEndpoint {
+		t.Error("combinational cell has an endpoint")
+	}
+	if f.t.EndpointOf(f.in) != NoEndpoint {
+		t.Error("input port has an endpoint")
+	}
+}
+
+func TestSlackModeDispatch(t *testing.T) {
+	f := newFixture(t)
+	tm := f.t
+	e := tm.EndpointOf(f.ffA)
+	if tm.Slack(e, Late) != tm.LateSlack(e) {
+		t.Error("Slack(Late) mismatch")
+	}
+	if tm.Slack(e, Early) != tm.EarlySlack(e) {
+		t.Error("Slack(Early) mismatch")
+	}
+	if Late.String() != "late" || Early.String() != "early" {
+		t.Error("Mode.String broken")
+	}
+}
+
+func TestLaunchEarlySlack(t *testing.T) {
+	f := newFixture(t)
+	tm := f.t
+	// ffA launches one path to ffB: its launch early slack equals ffB's
+	// endpoint early slack.
+	approx(t, "launch early", tm.LaunchEarlySlack(f.ffA), tm.EarlySlack(tm.EndpointOf(f.ffB)))
+	// ffB launches the port path, whose early check is against the virtual
+	// clock: finite and non-violating.
+	if s := tm.LaunchEarlySlack(f.ffB); math.IsInf(s, 0) || s < 0 {
+		t.Errorf("LaunchEarlySlack(ffB) = %v", s)
+	}
+}

@@ -1,0 +1,106 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"iterskew/internal/delay"
+)
+
+// deratedFixture rebuilds the standard fixture with a BC/WC corner split.
+func deratedFixture(t *testing.T, early, late float64) *fixture {
+	t.Helper()
+	f := newFixture(t) // builds the design (its timer uses Default())
+	tm, err := New(f.d, delay.Derated(early, late))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.t = tm
+	return f
+}
+
+func TestDeratedCornersSplitArrivals(t *testing.T) {
+	f := deratedFixture(t, 0.9, 1.1)
+	tm, d := f.t, f.d
+	dpin := d.FFData(f.ffB)
+	atMin, atMax := tm.ArrivalMin(dpin), tm.ArrivalMax(dpin)
+	if atMin >= atMax {
+		t.Fatalf("single path should split under derates: min=%v max=%v", atMin, atMax)
+	}
+	// The data-path parts scale by the derates; the (underated) clock
+	// latency does not. atMax − lat = 1.1 × nominal; atMin − lat = 0.9 ×.
+	lat := tm.Latency(f.ffA)
+	nomL := (fxFFBD - fxBaseLat)
+	approx(t, "late corner", atMax-lat, 1.1*nomL)
+	approx(t, "early corner", atMin-lat, 0.9*nomL)
+}
+
+func TestDeratedExtractionConsistent(t *testing.T) {
+	f := deratedFixture(t, 0.9, 1.1)
+	tm := f.t
+	// Late edge delay reflects the late corner.
+	late := tm.ExtractAllFrom(f.ffA, Late, nil)
+	if len(late) != 1 {
+		t.Fatalf("late edges = %d", len(late))
+	}
+	approx(t, "late edge slack", tm.EdgeSlack(late[0]), tm.LateSlack(tm.EndpointOf(f.ffB)))
+	// Early edge delay reflects the early corner.
+	early := tm.ExtractAllFrom(f.ffA, Early, nil)
+	if len(early) != 1 {
+		t.Fatalf("early edges = %d", len(early))
+	}
+	approx(t, "early edge slack", tm.EdgeSlack(early[0]), tm.EarlySlack(tm.EndpointOf(f.ffB)))
+	if late[0].Delay <= early[0].Delay {
+		t.Errorf("late delay %v should exceed early delay %v", late[0].Delay, early[0].Delay)
+	}
+}
+
+func TestDeratedEssentialExtraction(t *testing.T) {
+	f := deratedFixture(t, 0.85, 1.15)
+	tm := f.t
+	eA := tm.EndpointOf(f.ffA)
+	if tm.EarlySlack(eA) >= 0 {
+		t.Skip("derates removed the fixture's hold violation")
+	}
+	edges := tm.ExtractEssentialAt(eA, Early, 0, nil)
+	if len(edges) != 1 {
+		t.Fatalf("essential edges = %d", len(edges))
+	}
+	approx(t, "derated essential slack", tm.EdgeSlack(edges[0]), tm.EarlySlack(eA))
+}
+
+func TestDeratedWorstPathArithmetic(t *testing.T) {
+	f := deratedFixture(t, 0.9, 1.1)
+	tm := f.t
+	for _, m := range []Mode{Late, Early} {
+		r := tm.ReportPath(tm.EndpointOf(f.ffB), m)
+		if r == nil {
+			t.Fatalf("%v: no report", m)
+		}
+		// Increments must sum exactly to arrival − launch arrival.
+		sum := r.Steps[0].Arrival
+		for _, s := range r.Steps[1:] {
+			sum += s.Incr
+		}
+		approx(t, "derated incr sum", sum, r.Arrival)
+	}
+}
+
+func TestDeratedHoldRealism(t *testing.T) {
+	// With a wide corner split, a path that met hold at a single corner can
+	// fail: check monotonicity — widening the split never improves early
+	// slack.
+	prev := math.Inf(1)
+	for _, spread := range []float64{0, 0.05, 0.15, 0.3} {
+		f := newFixture(t)
+		tm, err := New(f.d, delay.Derated(1-spread, 1+spread))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := tm.EarlySlack(tm.EndpointOf(f.ffB))
+		if s > prev+1e-9 {
+			t.Errorf("early slack improved with wider derates: %v -> %v", prev, s)
+		}
+		prev = s
+	}
+}

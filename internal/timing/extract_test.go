@@ -1,0 +1,242 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"iterskew/internal/delay"
+	"iterskew/internal/geom"
+	"iterskew/internal/netlist"
+)
+
+func TestExtractEssentialEarly(t *testing.T) {
+	f := newFixture(t)
+	tm := f.t
+	eA := tm.EndpointOf(f.ffA)
+
+	edges := tm.ExtractEssentialAt(eA, Early, 0, nil)
+	if len(edges) != 1 {
+		t.Fatalf("expected 1 essential early edge, got %d", len(edges))
+	}
+	e := edges[0]
+	if e.Launch != f.in || e.Capture != f.ffA {
+		t.Errorf("edge = %v -> %v", e.Launch, e.Capture)
+	}
+	approx(t, "edge delay", e.Delay, fxFFAD)
+	approx(t, "edge slack", tm.EdgeSlack(e), tm.EarlySlack(eA))
+}
+
+func TestExtractEssentialSkipsNonViolating(t *testing.T) {
+	f := newFixture(t)
+	tm := f.t
+	eB := tm.EndpointOf(f.ffB)
+	if got := tm.ExtractEssentialAt(eB, Late, 0, nil); len(got) != 0 {
+		t.Errorf("extracted %d late edges from non-violating endpoint", len(got))
+	}
+	if got := tm.ExtractEssentialAt(eB, Early, 0, nil); len(got) != 0 {
+		t.Errorf("extracted %d early edges from non-violating endpoint", len(got))
+	}
+}
+
+func TestExtractEssentialLateAfterLatencyShift(t *testing.T) {
+	f := newFixture(t)
+	tm := f.t
+	// Make the ffA→ffB path violate setup by pushing ffA's launch very late.
+	tm.SetExtraLatency(f.ffA, 950)
+	tm.Update()
+	eB := tm.EndpointOf(f.ffB)
+	if tm.LateSlack(eB) >= 0 {
+		t.Fatalf("fixture not violating: %v", tm.LateSlack(eB))
+	}
+	edges := tm.ExtractEssentialAt(eB, Late, 0, nil)
+	if len(edges) != 1 {
+		t.Fatalf("expected 1 late edge, got %d", len(edges))
+	}
+	e := edges[0]
+	if e.Launch != f.ffA || e.Capture != f.ffB {
+		t.Errorf("edge = %v -> %v", e.Launch, e.Capture)
+	}
+	approx(t, "late edge slack", tm.EdgeSlack(e), tm.LateSlack(eB))
+	// Delay is latency-independent: clk→Q + drive + comb.
+	approx(t, "late edge delay", e.Delay, fxFFBD-fxBaseLat)
+}
+
+func TestExtractWithMargin(t *testing.T) {
+	f := newFixture(t)
+	tm := f.t
+	eB := tm.EndpointOf(f.ffB)
+	s := tm.LateSlack(eB) // positive
+	// With a margin above the slack, the edge becomes "essential".
+	edges := tm.ExtractEssentialAt(eB, Late, s+1, nil)
+	if len(edges) != 1 {
+		t.Fatalf("margin extraction found %d edges, want 1", len(edges))
+	}
+	// With a margin just below, it does not.
+	edges = tm.ExtractEssentialAt(eB, Late, s-1, nil)
+	if len(edges) != 0 {
+		t.Fatalf("margin extraction found %d edges, want 0", len(edges))
+	}
+}
+
+func TestExtractAllFrom(t *testing.T) {
+	f := newFixture(t)
+	tm := f.t
+	edges := tm.ExtractAllFrom(f.ffA, Late, nil)
+	if len(edges) != 1 {
+		t.Fatalf("ExtractAllFrom(ffA) = %d edges, want 1", len(edges))
+	}
+	approx(t, "delay", edges[0].Delay, fxFFBD-fxBaseLat)
+	if edges[0].Capture != f.ffB {
+		t.Errorf("capture = %v", edges[0].Capture)
+	}
+
+	// From the input port: one edge to ffA.
+	edges = tm.ExtractAllFrom(f.in, Early, nil)
+	if len(edges) != 1 || edges[0].Capture != f.ffA {
+		t.Fatalf("ExtractAllFrom(in) = %+v", edges)
+	}
+	approx(t, "port edge delay", edges[0].Delay, fxFFAD)
+}
+
+func TestExtractAllInto(t *testing.T) {
+	f := newFixture(t)
+	tm := f.t
+	edges := tm.ExtractAllInto(f.ffB, Late, nil)
+	if len(edges) != 1 || edges[0].Launch != f.ffA {
+		t.Fatalf("ExtractAllInto(ffB) = %+v", edges)
+	}
+	approx(t, "delay", edges[0].Delay, fxFFBD-fxBaseLat)
+
+	edges = tm.ExtractAllInto(f.ffA, Early, nil)
+	if len(edges) != 1 || edges[0].Launch != f.in {
+		t.Fatalf("ExtractAllInto(ffA, Early) = %+v", edges)
+	}
+}
+
+func TestEdgeSlackTracksLatencies(t *testing.T) {
+	f := newFixture(t)
+	tm := f.t
+	edges := tm.ExtractAllFrom(f.ffA, Late, nil)
+	e := edges[0]
+	s0 := tm.EdgeSlack(e)
+	// Raising the capture latency improves late slack 1:1 (Eq 3).
+	tm.SetExtraLatency(f.ffB, 20)
+	approx(t, "slack after capture raise", tm.EdgeSlack(e), s0+20)
+	// Raising the launch latency cancels it.
+	tm.SetExtraLatency(f.ffA, 20)
+	approx(t, "slack after both raised", tm.EdgeSlack(e), s0)
+}
+
+func TestDOut(t *testing.T) {
+	f := newFixture(t)
+	tm := f.t
+	approx(t, "DOut(ffA)", tm.DOut(f.ffA), fxFFBD-fxBaseLat)
+	approx(t, "DOut(ffB)", tm.DOut(f.ffB), fxFFBQ-fxBaseLat)
+	approx(t, "DOut(in)", tm.DOut(f.in), fxFFAD)
+	// Criticality test (Eq 8): lat + dout vs period.
+	if tm.Latency(f.ffA)+tm.DOut(f.ffA) >= fxPeriod {
+		t.Error("fixture should not be late-critical initially")
+	}
+}
+
+func TestDOutNoPath(t *testing.T) {
+	lib := netlist.StdLib()
+	d := netlist.NewDesign("iso", 1000)
+	in := d.AddCell("in", lib.Get("PORTIN"), geom.Pt(0, 0))
+	ff := d.AddCell("ff", lib.Get("DFF"), geom.Pt(0, 0))
+	root := d.AddCell("root", lib.Get("CLKROOT"), geom.Pt(0, 0))
+	lcb := d.AddCell("lcb", lib.Get("LCB"), geom.Pt(0, 0))
+	d.Connect("ni", d.OutPin(in), d.FFData(ff))
+	// ff.Q left unconnected: no outgoing paths.
+	cr := d.Connect("cr", d.OutPin(root), d.LCBIn(lcb))
+	d.Nets[cr].IsClock = true
+	cl := d.Connect("cl", d.LCBOut(lcb), d.FFClock(ff))
+	d.Nets[cl].IsClock = true
+	tm, err := New(d, delay.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(tm.DOut(ff), -1) {
+		t.Errorf("DOut of sink-less FF = %v, want -Inf", tm.DOut(ff))
+	}
+	if !math.IsInf(tm.LaunchLateSlack(ff), 1) {
+		t.Errorf("LaunchLateSlack of sink-less FF = %v, want +Inf", tm.LaunchLateSlack(ff))
+	}
+}
+
+// TestExtractReconvergence exercises max-path selection through reconvergent
+// fanout: two parallel paths from one FF to another; the extracted late edge
+// must carry the longer path delay and the early edge the shorter.
+func TestExtractReconvergence(t *testing.T) {
+	lib := netlist.StdLib()
+	d := netlist.NewDesign("recon", 2000)
+	ffa := d.AddCell("ffa", lib.Get("DFF"), geom.Pt(0, 0))
+	ffb := d.AddCell("ffb", lib.Get("DFF"), geom.Pt(0, 0))
+	fast := d.AddCell("fast", lib.Get("INV"), geom.Pt(0, 0))
+	s1 := d.AddCell("s1", lib.Get("XOR2"), geom.Pt(0, 0))
+	s2 := d.AddCell("s2", lib.Get("XOR2"), geom.Pt(0, 0))
+	merge := d.AddCell("merge", lib.Get("NAND2"), geom.Pt(0, 0))
+	root := d.AddCell("root", lib.Get("CLKROOT"), geom.Pt(0, 0))
+	lcb := d.AddCell("lcb", lib.Get("LCB"), geom.Pt(0, 0))
+
+	d.Connect("nq", d.FFQ(ffa), d.Cells[fast].Pins[0], d.Cells[s1].Pins[0], d.Cells[s1].Pins[1])
+	d.Connect("nf", d.OutPin(fast), d.Cells[merge].Pins[0])
+	d.Connect("ns1", d.OutPin(s1), d.Cells[s2].Pins[0], d.Cells[s2].Pins[1])
+	d.Connect("ns2", d.OutPin(s2), d.Cells[merge].Pins[1])
+	d.Connect("nm", d.OutPin(merge), d.FFData(ffb))
+	cr := d.Connect("cr", d.OutPin(root), d.LCBIn(lcb))
+	d.Nets[cr].IsClock = true
+	cl := d.Connect("cl", d.LCBOut(lcb), d.FFClock(ffa), d.FFClock(ffb))
+	d.Nets[cl].IsClock = true
+
+	tm, err := New(d, delay.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpin := d.FFData(ffb)
+	atMax, atMin := tm.ArrivalMax(dpin), tm.ArrivalMin(dpin)
+	if atMax <= atMin {
+		t.Fatalf("reconvergent paths should differ: max=%v min=%v", atMax, atMin)
+	}
+
+	late := tm.ExtractAllFrom(ffa, Late, nil)
+	early := tm.ExtractAllFrom(ffa, Early, nil)
+	if len(late) != 1 || len(early) != 1 {
+		t.Fatalf("edges: late=%d early=%d", len(late), len(early))
+	}
+	lat := tm.Latency(ffa)
+	approx(t, "late delay = max path", lat+late[0].Delay, atMax)
+	approx(t, "early delay = min path", lat+early[0].Delay, atMin)
+
+	// The essential extraction (when violating) agrees with the endpoint
+	// slacks. Force a hold violation by raising capture latency.
+	tm.SetExtraLatency(ffb, atMin-lat) // big enough to violate hold
+	tm.Update()
+	eB := tm.EndpointOf(ffb)
+	if tm.EarlySlack(eB) >= 0 {
+		t.Fatalf("no early violation: %v", tm.EarlySlack(eB))
+	}
+	ess := tm.ExtractEssentialAt(eB, Early, 0, nil)
+	if len(ess) != 1 {
+		t.Fatalf("essential early edges = %d", len(ess))
+	}
+	approx(t, "essential slack", tm.EdgeSlack(ess[0]), tm.EarlySlack(eB))
+}
+
+func TestCountersAdvance(t *testing.T) {
+	f := newFixture(t)
+	tm := f.t
+	before := tm.Stats
+	tm.ExtractAllFrom(f.ffA, Late, nil)
+	if tm.Stats.ExtractedEdges <= before.ExtractedEdges {
+		t.Error("ExtractedEdges did not advance")
+	}
+	if tm.Stats.ExtractArcVisits <= before.ExtractArcVisits {
+		t.Error("ExtractArcVisits did not advance")
+	}
+	tm.SetExtraLatency(f.ffA, 5)
+	v := tm.Update()
+	if v == 0 {
+		t.Error("incremental update visited no pins")
+	}
+}

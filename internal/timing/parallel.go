@@ -1,0 +1,96 @@
+package timing
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"iterskew/internal/netlist"
+)
+
+// Level-synchronized parallel timing propagation, in the spirit of the
+// parallel incremental timers the paper builds on (OpenTimer v2 and
+// successors, [14]–[17]): pins on the same topological level have no
+// arrival dependencies among each other, so each level is evaluated with a
+// worker pool, with a barrier between levels. Net loads are refreshed
+// serially first so the workers never touch the lazy load cache.
+
+// levelBuckets groups the topological order by level (computed lazily).
+func (t *Timer) levelBuckets() [][]netlist.PinID {
+	if t.lvlBuckets == nil {
+		buckets := make([][]netlist.PinID, t.maxLvl+1)
+		for _, p := range t.order {
+			buckets[t.level[p]] = append(buckets[t.level[p]], p)
+		}
+		t.lvlBuckets = buckets
+	}
+	return t.lvlBuckets
+}
+
+// FullUpdateParallel recomputes the clock network, all net loads, and all
+// arrival and required times like FullUpdate, evaluating each topological
+// level with `workers` goroutines (0 = GOMAXPROCS). Results are identical
+// to FullUpdate.
+func (t *Timer) FullUpdateParallel(workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t.Stats.FullUpdates++
+	for i := range t.netDirty {
+		t.netDirty[i] = true
+	}
+	t.recomputeClock()
+	t.dirtyFFs = map[netlist.CellID]struct{}{}
+	t.dirtyCell = map[netlist.CellID]struct{}{}
+
+	// Refresh every net load serially: the workers then only read.
+	for n := range t.netLoad {
+		t.loadOf(netlist.NetID(n))
+	}
+
+	for i := range t.atMax {
+		t.atMax[i] = math.Inf(-1)
+		t.atMin[i] = math.Inf(1)
+		t.reqMax[i] = math.Inf(1)
+		t.reqMin[i] = math.Inf(-1)
+	}
+
+	buckets := t.levelBuckets()
+	run := func(bucket []netlist.PinID, eval func(netlist.PinID) bool) {
+		if len(bucket) < 64 || workers == 1 {
+			for _, p := range bucket {
+				eval(p)
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		chunk := (len(bucket) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= len(bucket) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(bucket) {
+				hi = len(bucket)
+			}
+			wg.Add(1)
+			go func(part []netlist.PinID) {
+				defer wg.Done()
+				for _, p := range part {
+					eval(p)
+				}
+			}(bucket[lo:hi])
+		}
+		wg.Wait()
+	}
+
+	for lvl := 0; lvl <= int(t.maxLvl); lvl++ {
+		run(buckets[lvl], t.evalArrival)
+	}
+	for lvl := int(t.maxLvl); lvl >= 0; lvl-- {
+		run(buckets[lvl], t.evalRequired)
+	}
+	t.Stats.ForwardPinVisits += int64(len(t.order))
+	t.Stats.BackwardPinVisits += int64(len(t.order))
+}

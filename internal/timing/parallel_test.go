@@ -1,0 +1,56 @@
+package timing
+
+import (
+	"testing"
+
+	"iterskew/internal/delay"
+)
+
+// TestParallelMatchesSerial: FullUpdateParallel must produce exactly the
+// serial results on the fixture and after perturbations.
+func TestParallelMatchesSerial(t *testing.T) {
+	f := newFixture(t)
+	tm := f.t
+
+	check := func() {
+		t.Helper()
+		serial, err := New(f.d, delay.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ff := range f.d.FFs {
+			serial.SetExtraLatency(ff, tm.ExtraLatency(ff))
+		}
+		serial.FullUpdate()
+		for e := range tm.Endpoints() {
+			approx(t, "late", tm.LateSlack(EndpointID(e)), serial.LateSlack(EndpointID(e)))
+			approx(t, "early", tm.EarlySlack(EndpointID(e)), serial.EarlySlack(EndpointID(e)))
+		}
+		for _, ff := range f.d.FFs {
+			approx(t, "launch late", tm.LaunchLateSlack(ff), serial.LaunchLateSlack(ff))
+		}
+	}
+
+	tm.FullUpdateParallel(4)
+	check()
+
+	tm.SetExtraLatency(f.ffA, 17)
+	tm.FullUpdateParallel(0) // GOMAXPROCS default
+	check()
+
+	tm.SetExtraLatency(f.ffA, 0)
+	tm.FullUpdateParallel(1) // degenerate single worker
+	check()
+}
+
+// TestParallelRace is meaningful under -race: hammer parallel updates.
+func TestParallelRace(t *testing.T) {
+	f := newFixture(t)
+	for i := 0; i < 10; i++ {
+		f.t.SetExtraLatency(f.ffA, float64(i))
+		f.t.FullUpdateParallel(8)
+	}
+	if wns, _ := f.t.WNSTNS(Late); wns > 0 {
+		t.Error("impossible WNS")
+	}
+}

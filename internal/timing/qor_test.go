@@ -1,0 +1,50 @@
+package timing
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportQoR(t *testing.T) {
+	f := newFixture(t)
+	q := f.t.ReportQoR()
+
+	if q.FFs != 2 || q.LCBs != 1 {
+		t.Errorf("inventory wrong: %+v", q)
+	}
+	if q.CombCells != 2 {
+		t.Errorf("comb cells = %d, want 2", q.CombCells)
+	}
+	if q.Endpoints != 3 { // 2 FFs + 1 out port
+		t.Errorf("endpoints = %d, want 3", q.Endpoints)
+	}
+	approx(t, "qor WNS early", q.WNSEarly, fxFFAD-(fxBaseLat+25))
+	if q.ViolEarly != 1 || q.ViolLate != 0 {
+		t.Errorf("violation counts: %d/%d", q.ViolEarly, q.ViolLate)
+	}
+	approx(t, "latency min", q.MinLatency, fxBaseLat)
+	approx(t, "latency max", q.MaxLatency, fxBaseLat)
+	approx(t, "latency mean", q.MeanLatency, fxBaseLat)
+	if q.MaxLCBFanout != 2 {
+		t.Errorf("MaxLCBFanout = %d", q.MaxLCBFanout)
+	}
+	if q.HPWL != f.d.HPWL() {
+		t.Errorf("HPWL = %v, want %v", q.HPWL, f.d.HPWL())
+	}
+
+	out := q.String()
+	for _, want := range []string{"QoR", "late", "early", "clock", "HPWL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %q", want)
+		}
+	}
+}
+
+func TestReportQoRTracksLatencyChanges(t *testing.T) {
+	f := newFixture(t)
+	f.t.SetExtraLatency(f.ffA, 50)
+	f.t.Update()
+	q := f.t.ReportQoR()
+	approx(t, "max latency after raise", q.MaxLatency, fxBaseLat+50)
+	approx(t, "mean latency after raise", q.MeanLatency, fxBaseLat+25)
+}

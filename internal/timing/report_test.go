@@ -1,0 +1,118 @@
+package timing
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReportPathFixture(t *testing.T) {
+	f := newFixture(t)
+	tm := f.t
+	eB := tm.EndpointOf(f.ffB)
+
+	r := tm.ReportPath(eB, Late)
+	if r == nil {
+		t.Fatal("no report")
+	}
+	if r.Launch != f.ffA || r.Capture != f.ffB {
+		t.Errorf("path endpoints: %v -> %v", r.Launch, r.Capture)
+	}
+	approx(t, "report arrival", r.Arrival, fxFFBD)
+	approx(t, "report slack", r.Slack, tm.LateSlack(eB))
+	approx(t, "required - arrival = slack", r.Required-r.Arrival, r.Slack)
+	// The path visits ffA.Q, gB pins, ffB.D: 4 pins.
+	if len(r.Steps) != 4 {
+		t.Fatalf("steps = %d, want 4", len(r.Steps))
+	}
+	// Increments sum to arrival minus launch arrival.
+	sum := 0.0
+	for _, s := range r.Steps[1:] {
+		sum += s.Incr
+	}
+	approx(t, "incr sum", r.Steps[0].Arrival+sum, r.Arrival)
+	// Arrivals are monotone along a late path.
+	for i := 1; i < len(r.Steps); i++ {
+		if r.Steps[i].Arrival < r.Steps[i-1].Arrival-1e-9 {
+			t.Errorf("arrival decreased at step %d", i)
+		}
+	}
+
+	out := r.Format()
+	for _, want := range []string{"Path (late)", "slack", "required", "ffA", "ffB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportPathEarlyTracksMinPath(t *testing.T) {
+	f := newFixture(t)
+	tm := f.t
+	eA := tm.EndpointOf(f.ffA)
+	r := tm.ReportPath(eA, Early)
+	if r == nil {
+		t.Fatal("no report")
+	}
+	approx(t, "early arrival", r.Arrival, fxFFAD)
+	approx(t, "early slack", r.Slack, tm.EarlySlack(eA))
+	if r.Launch != f.in {
+		t.Errorf("early path launch = %v, want input port", r.Launch)
+	}
+}
+
+func TestWorstPathsOrdering(t *testing.T) {
+	f := newFixture(t)
+	tm := f.t
+	reports := tm.WorstPaths(Early, 10)
+	if len(reports) == 0 {
+		t.Fatal("no reports")
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i].Slack < reports[i-1].Slack {
+			t.Error("reports not sorted by slack")
+		}
+	}
+	// The single early violation is first.
+	if reports[0].Endpoint != tm.EndpointOf(f.ffA) {
+		t.Errorf("worst endpoint = %v", reports[0].Endpoint)
+	}
+	// k larger than endpoint count is fine.
+	if got := tm.WorstPaths(Late, 1000); len(got) == 0 {
+		t.Error("k clamp broke reporting")
+	}
+}
+
+func TestSlackHistogram(t *testing.T) {
+	f := newFixture(t)
+	tm := f.t
+	h := tm.SlackHistogram(Late, 100)
+	if h.Total == 0 {
+		t.Fatal("empty histogram")
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != h.Total {
+		t.Errorf("counts sum %d != total %d", sum, h.Total)
+	}
+	// Every slack falls into its bin.
+	for e := range tm.Endpoints() {
+		s := tm.Slack(EndpointID(e), Late)
+		if math.IsInf(s, 0) {
+			continue
+		}
+		idx := int((s - h.Min) / h.BinWidth)
+		if idx < 0 || idx >= len(h.Counts) {
+			t.Errorf("slack %v outside histogram", s)
+		}
+	}
+	if out := h.String(); !strings.Contains(out, "#") && h.Total > 0 {
+		t.Error("histogram render missing bars")
+	}
+	// Degenerate bin width.
+	if got := tm.SlackHistogram(Late, 0); got.Total != 0 {
+		t.Error("zero bin width accepted")
+	}
+}

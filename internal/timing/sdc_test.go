@@ -1,0 +1,71 @@
+package timing
+
+import (
+	"testing"
+)
+
+// TestInputDelayShiftsArrival: an input-port delay shifts the port-launched
+// path's arrival 1:1, curing hold violations and consuming setup slack.
+func TestInputDelayShiftsArrival(t *testing.T) {
+	f := newFixture(t)
+	tm, d := f.t, f.d
+	eA := tm.EndpointOf(f.ffA)
+	early0 := tm.EarlySlack(eA)
+	late0 := tm.LateSlack(eA)
+	if early0 >= 0 {
+		t.Fatal("fixture should have a hold violation at ffA")
+	}
+
+	d.SetInputDelay(f.in, 100)
+	tm.FullUpdate()
+
+	approx(t, "early shift", tm.EarlySlack(eA), early0+100)
+	approx(t, "late shift", tm.LateSlack(eA), late0-100)
+
+	// The extracted edge delay includes the external delay, keeping
+	// EdgeSlack consistent with the endpoint slack.
+	edges := tm.ExtractAllInto(f.ffA, Early, nil)
+	if len(edges) != 1 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	approx(t, "edge slack with indelay", tm.EdgeSlack(edges[0]), tm.EarlySlack(eA))
+}
+
+// TestOutputDelayTightensRequired: an output-port delay reduces the late
+// required time 1:1 and is reflected in extracted port edges.
+func TestOutputDelayTightensRequired(t *testing.T) {
+	f := newFixture(t)
+	tm, d := f.t, f.d
+	eOut := tm.EndpointOf(f.out)
+	late0 := tm.LateSlack(eOut)
+
+	d.SetOutputDelay(f.out, 150)
+	tm.FullUpdate()
+
+	approx(t, "late tightened", tm.LateSlack(eOut), late0-150)
+	// Early required unchanged.
+	if tm.EarlySlack(eOut) < 0 {
+		t.Error("output delay should not create early violations")
+	}
+
+	edges := tm.ExtractAllFrom(f.ffB, Late, nil)
+	if len(edges) != 1 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	approx(t, "port edge slack", tm.EdgeSlack(edges[0]), tm.LateSlack(eOut))
+}
+
+// TestPortDelaysSurviveClone: the SDC maps deep-copy with the design.
+func TestPortDelaysSurviveClone(t *testing.T) {
+	f := newFixture(t)
+	f.d.SetInputDelay(f.in, 42)
+	f.d.SetOutputDelay(f.out, 17)
+	c := f.d.Clone()
+	if c.InDelay[f.in] != 42 || c.OutDelay[f.out] != 17 {
+		t.Error("clone lost port delays")
+	}
+	c.SetInputDelay(f.in, 1)
+	if f.d.InDelay[f.in] != 42 {
+		t.Error("clone shares the delay map")
+	}
+}

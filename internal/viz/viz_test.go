@@ -1,0 +1,84 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"iterskew/internal/bench"
+	"iterskew/internal/delay"
+	"iterskew/internal/netlist"
+	"iterskew/internal/timing"
+)
+
+func renderSmall(t *testing.T, o Options) string {
+	t.Helper()
+	p, err := bench.Superblue("superblue18", 0.003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := bench.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := timing.New(d, delay.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, tm, o); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRenderWellFormedXML(t *testing.T) {
+	svg := renderSmall(t, Options{})
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+	for _, want := range []string{"<svg", "</svg>", "rect", "circle", "WNS"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestRenderShowsViolatingPaths(t *testing.T) {
+	svg := renderSmall(t, Options{WorstPaths: 2})
+	if !strings.Contains(svg, "polyline") {
+		t.Error("no worst-path overlay despite violations")
+	}
+	svgNoPaths := renderSmall(t, Options{WorstPaths: -1})
+	if strings.Contains(svgNoPaths, "polyline") {
+		t.Error("path overlay present despite WorstPaths<0")
+	}
+}
+
+func TestRenderHideClock(t *testing.T) {
+	with := renderSmall(t, Options{})
+	without := renderSmall(t, Options{HideClock: true})
+	if !(len(with) > len(without)) {
+		t.Error("HideClock did not reduce output")
+	}
+}
+
+func TestRenderNoDie(t *testing.T) {
+	d := netlist.NewDesign("empty", 1000)
+	tm, err := timing.New(d, delay.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, tm, Options{}); err == nil {
+		t.Error("die-less design accepted")
+	}
+}

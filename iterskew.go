@@ -1,0 +1,196 @@
+// Package iterskew is a reproduction of "A Fast, Iterative Clock Skew
+// Scheduling Algorithm with Dynamic Sequential Graph Extraction" (DAC 2025).
+//
+// It bundles, behind one import path:
+//
+//   - a placed gate-level netlist model with flip-flops, local clock
+//     buffers (LCBs) and I/O ports (internal/netlist);
+//   - an Elmore-delay static timing engine with incremental propagation and
+//     sequential-edge extraction primitives (internal/timing);
+//   - the paper's iterative clock skew scheduling algorithm (internal/core),
+//     the IC-CSS+ and FPM baselines (internal/iccss, internal/fpm), and the
+//     §IV physical realization techniques (internal/opt);
+//   - a deterministic ICCAD-2015-style benchmark generator and evaluator
+//     (internal/bench, internal/eval), and the two-stage evaluation flow of
+//     §V (internal/flow).
+//
+// Quick start:
+//
+//	profile, _ := iterskew.SuperblueProfile("superblue18", 0.01)
+//	design, _ := iterskew.GenerateBenchmark(profile)
+//	report, _ := iterskew.RunFlow(design, iterskew.FlowConfig{Method: iterskew.Ours})
+//	fmt.Println(report.Final)
+//
+// For finer control, create a Timer and call ScheduleSkew (the paper's
+// Alg 1) and Optimize directly; see examples/ for runnable programs.
+package iterskew
+
+import (
+	"iterskew/internal/bench"
+	"iterskew/internal/core"
+	"iterskew/internal/cts"
+	"iterskew/internal/delay"
+	"iterskew/internal/eval"
+	"iterskew/internal/flow"
+	"iterskew/internal/fpm"
+	"iterskew/internal/geom"
+	"iterskew/internal/iccss"
+	"iterskew/internal/netlist"
+	"iterskew/internal/opt"
+	"iterskew/internal/timing"
+)
+
+// Re-exported core types. The aliases give external users names for the
+// library's central values; their methods are documented on the internal
+// definitions.
+type (
+	// Design is a placed gate-level netlist.
+	Design = netlist.Design
+	// CellID identifies a cell within a Design.
+	CellID = netlist.CellID
+	// Timer is the static timing engine.
+	Timer = timing.Timer
+	// Mode selects early (hold) or late (setup) analysis.
+	Mode = timing.Mode
+	// DelayModel is the Elmore interconnect model.
+	DelayModel = delay.Model
+
+	// Profile configures the benchmark generator.
+	Profile = bench.Profile
+	// Metrics is an evaluator snapshot (WNS/TNS/HPWL).
+	Metrics = eval.Metrics
+
+	// ScheduleOptions configures the paper's Alg 1.
+	ScheduleOptions = core.Options
+	// ScheduleResult is Alg 1's outcome (target latencies, rounds, edges).
+	ScheduleResult = core.Result
+	// ICCSSOptions configures the IC-CSS+ baseline.
+	ICCSSOptions = iccss.Options
+	// ICCSSResult is the IC-CSS+ outcome.
+	ICCSSResult = iccss.Result
+	// FPMOptions configures the FPM baseline.
+	FPMOptions = fpm.Options
+	// FPMResult is the FPM outcome.
+	FPMResult = fpm.Result
+
+	// OptimizeOptions configures the §IV physical realization.
+	OptimizeOptions = opt.Options
+	// OptimizeResult reports the realization statistics.
+	OptimizeResult = opt.Result
+
+	// CTSOptions configures schedule-guided clock tree re-clustering.
+	CTSOptions = cts.Options
+	// CTSResult reports the re-clustering outcome.
+	CTSResult = cts.Result
+
+	// FlowConfig configures a §V evaluation flow run.
+	FlowConfig = flow.Config
+	// FlowReport is one Table-I row.
+	FlowReport = flow.Report
+	// Method is a Table-I comparison method.
+	Method = flow.Method
+)
+
+// Design-construction types, for users building netlists by hand rather
+// than through the generator.
+type (
+	// Point is a die location in DBU.
+	Point = geom.Point
+	// Rect is an axis-aligned die region.
+	Rect = geom.Rect
+	// Library is a collection of cell types.
+	Library = netlist.Library
+	// CellType is a library cell with timing parameters.
+	CellType = netlist.CellType
+	// PinID identifies a pin within a Design.
+	PinID = netlist.PinID
+	// NetID identifies a net within a Design.
+	NetID = netlist.NetID
+)
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// RectOf returns the minimal rectangle containing the given points.
+func RectOf(pts ...Point) Rect { return geom.RectOf(pts...) }
+
+// StdLib returns the default standard-cell library.
+func StdLib() *Library { return netlist.StdLib() }
+
+// NewDesign returns an empty design with the given name and clock period.
+func NewDesign(name string, period float64) *Design { return netlist.NewDesign(name, period) }
+
+// Analysis modes.
+const (
+	Late  = timing.Late
+	Early = timing.Early
+)
+
+// Comparison methods (the Table-I rows).
+const (
+	Baseline  = flow.Baseline
+	FPM       = flow.FPM
+	OursEarly = flow.OursEarly
+	ICCSSPlus = flow.ICCSSPlus
+	Ours      = flow.Ours
+)
+
+// SuperblueProfile returns the scaled profile of one of the eight ICCAD-2015
+// designs evaluated in Table I; scale shrinks the flip-flop count linearly.
+func SuperblueProfile(name string, scale float64) (Profile, error) {
+	return bench.Superblue(name, scale)
+}
+
+// SuperblueNames lists the Table-I benchmark names in paper order.
+func SuperblueNames() []string { return bench.SuperblueNames() }
+
+// GenerateBenchmark builds a deterministic synthetic benchmark design.
+func GenerateBenchmark(p Profile) (*Design, error) { return bench.Generate(p) }
+
+// NewTimer builds a timer over the design using the default delay model.
+func NewTimer(d *Design) (*Timer, error) { return timing.New(d, delay.Default()) }
+
+// ScheduleSkew runs the paper's iterative clock skew scheduling (Alg 1) and
+// leaves the computed latencies applied predictively on the timer.
+func ScheduleSkew(tm *Timer, o ScheduleOptions) *ScheduleResult { return core.Schedule(tm, o) }
+
+// ScheduleICCSS runs the IC-CSS+ baseline (§III-E).
+func ScheduleICCSS(tm *Timer, o ICCSSOptions) *ICCSSResult { return iccss.Schedule(tm, o) }
+
+// ScheduleFPM runs the FPM baseline (early violations only).
+func ScheduleFPM(tm *Timer, o FPMOptions) *FPMResult { return fpm.Schedule(tm, o) }
+
+// Optimize realizes target latencies physically: LCB–FF reconnection plus
+// cell movement (§IV). It clears all predictive latencies.
+func Optimize(tm *Timer, targets map[CellID]float64, o OptimizeOptions) *OptimizeResult {
+	return opt.Optimize(tm, targets, o)
+}
+
+// Measure evaluates the design under the timer's current state.
+func Measure(tm *Timer) Metrics { return eval.Measure(tm) }
+
+// CheckConstraints verifies the contest-style physical constraints.
+func CheckConstraints(d *Design) []error { return eval.CheckConstraints(d) }
+
+// RunFlow executes a full §V evaluation flow (CSS + physical realization)
+// on a clone of the design and returns its Table-I row.
+func RunFlow(d *Design, cfg FlowConfig) (*FlowReport, error) { return flow.Run(d, cfg) }
+
+// MinPeriodResult reports a MinPeriod search.
+type MinPeriodResult = core.MinPeriodResult
+
+// MinPeriod binary-searches the smallest clock period at which the design
+// is schedulable free of setup violations with unrestricted useful skew —
+// the classical CSS objective answered with the iterative engine. The input
+// design is not modified.
+func MinPeriod(d *Design, lo, hi, tol float64) (*MinPeriodResult, error) {
+	return core.MinPeriod(d, lo, hi, tol)
+}
+
+// GuideClockTree re-clusters all flip-flops onto LCBs so their clock
+// branches realize the scheduled latencies — the paper's future-work
+// direction of CSS-guided clock tree synthesis. Unlike Optimize it is a
+// full synthesis pass, not an incremental ECO.
+func GuideClockTree(tm *Timer, targets map[CellID]float64, o CTSOptions) *CTSResult {
+	return cts.GuideTree(tm, targets, o)
+}
