@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-bearing packages (worker-pool extraction, parallel
+# incremental propagation) must stay race-clean.
+race:
+	$(GO) test -race ./internal/timing ./internal/core
+
+bench:
+	$(GO) test -bench 'ExtractEssentialBatch|IncrementalUpdate|CSRPropagation' -benchmem .

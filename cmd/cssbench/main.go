@@ -13,14 +13,19 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"iterskew"
+	"iterskew/internal/delay"
+	"iterskew/internal/timing"
 )
 
 func main() {
@@ -28,7 +33,24 @@ func main() {
 	designs := flag.String("designs", "all", "comma-separated design list or 'all'")
 	sweep := flag.Bool("sweep", false, "run the O(k·m') complexity sweep (experiment E4) instead of Table I")
 	csvPath := flag.String("csv", "", "also write the per-design rows to this CSV file")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool width for batch extraction and incremental propagation")
+	jsonPath := flag.String("json", "", "write the Table-I rows plus extraction/propagation micro-timings to this JSON file")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *sweep {
 		runSweep()
@@ -57,6 +79,7 @@ func main() {
 	for _, m := range methods {
 		aggs[m] = &agg{}
 	}
+	var jrows []rowJSON
 
 	var cw *csv.Writer
 	if *csvPath != "" {
@@ -90,7 +113,7 @@ func main() {
 
 		var base *iterskew.FlowReport
 		for _, m := range methods {
-			rep, err := iterskew.RunFlow(d, iterskew.FlowConfig{Method: m})
+			rep, err := iterskew.RunFlow(d, iterskew.FlowConfig{Method: m, Workers: *workers})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -113,6 +136,16 @@ func main() {
 					fmtF(rep.CSSTime.Seconds()), fmtF(rep.OptTime.Seconds()), fmtF(rep.Total.Seconds()),
 					strconv.FormatInt(rep.ExtractedEdges, 10), fmtF(rep.HPWLIncrPct),
 					strconv.Itoa(rep.Rounds),
+				})
+			}
+			if *jsonPath != "" {
+				jrows = append(jrows, rowJSON{
+					Design: name, Method: m.String(),
+					EWNSps: f.WNSEarly, ETNSps: f.TNSEarly,
+					LWNSps: f.WNSLate, LTNSps: f.TNSLate,
+					CSSSec: rep.CSSTime.Seconds(), OptSec: rep.OptTime.Seconds(),
+					TotalSec: rep.Total.Seconds(), Edges: rep.ExtractedEdges,
+					HPWLIncrPct: rep.HPWLIncrPct, Rounds: rep.Rounds,
 				})
 			}
 
@@ -146,6 +179,146 @@ func main() {
 	fmt.Printf("  Edge reduction Ours vs IC-CSS+: %6.2f%%\n", 100*(1-float64(ours.edges)/float64(max64(ic.edges, 1))))
 	fmt.Printf("  Total speedup Ours vs IC-CSS+ : %6.2fx\n", ratio(ic.total.Seconds(), ours.total.Seconds()))
 	fmt.Printf("  Total speedup Ours-Early vs FPM: %6.2fx\n", ratio(fpm.total.Seconds(), oursE.total.Seconds()))
+
+	if *jsonPath != "" {
+		writeJSON(*jsonPath, *scale, *workers, names[0], jrows)
+	}
+}
+
+// rowJSON is one Table-I row in BENCH_cssbench.json.
+type rowJSON struct {
+	Design      string  `json:"design"`
+	Method      string  `json:"method"`
+	EWNSps      float64 `json:"ewns_ps"`
+	ETNSps      float64 `json:"etns_ps"`
+	LWNSps      float64 `json:"lwns_ps"`
+	LTNSps      float64 `json:"ltns_ps"`
+	CSSSec      float64 `json:"css_s"`
+	OptSec      float64 `json:"opt_s"`
+	TotalSec    float64 `json:"total_s"`
+	Edges       int64   `json:"edges"`
+	HPWLIncrPct float64 `json:"hpwl_incr_pct"`
+	Rounds      int     `json:"rounds"`
+}
+
+// microJSON is one timer hot-path measurement.
+type microJSON struct {
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Metric      float64 `json:"metric,omitempty"`
+	MetricName  string  `json:"metric_name,omitempty"`
+}
+
+type benchJSON struct {
+	Scale   float64     `json:"scale"`
+	Workers int         `json:"workers"`
+	CPUs    int         `json:"cpus"`
+	Note    string      `json:"note,omitempty"`
+	Rows    []rowJSON   `json:"rows"`
+	Micro   []microJSON `json:"micro"`
+}
+
+// measure times `iters` calls of fn and derives allocs/op from the runtime
+// allocation counter (cssbench is single-goroutine outside fn itself).
+func measure(name string, workersUsed, iters int, metricName string, fn func() float64) microJSON {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	var metric float64
+	for i := 0; i < iters; i++ {
+		metric = fn()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return microJSON{
+		Name:        name,
+		Workers:     workersUsed,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(iters),
+		Metric:      metric,
+		MetricName:  metricName,
+	}
+}
+
+// writeJSON records the Table-I rows plus extraction/propagation
+// micro-timings on the first design, at one worker and at the requested
+// width, so the hot paths are tracked alongside the QoR table.
+func writeJSON(path string, scale float64, workers int, design string, rows []rowJSON) {
+	p, err := iterskew.SuperblueProfile(strings.TrimSpace(design), scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	d, err := iterskew.GenerateBenchmark(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tm, err := timing.New(d, delay.Default())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	out := benchJSON{Scale: scale, Workers: workers, CPUs: runtime.GOMAXPROCS(0), Rows: rows}
+	if out.CPUs == 1 {
+		out.Note = "single-CPU host: worker widths > 1 measure pool overhead only; " +
+			"results are bit-identical at any width, compare widths on a multi-core host"
+	}
+	widths := []int{1}
+	if workers > 1 {
+		widths = append(widths, workers)
+	}
+
+	viol := tm.ViolatedEndpoints(timing.Late, nil)
+	var edgeBuf []timing.SeqEdge
+	const iters = 20
+	for _, w := range widths {
+		w := w
+		out.Micro = append(out.Micro, measure("extract_essential_batch", w, iters, "edges", func() float64 {
+			edgeBuf = tm.ExtractEssentialBatch(viol, timing.Late, 0, w, edgeBuf[:0])
+			return float64(len(edgeBuf))
+		}))
+		out.Micro = append(out.Micro, measure("extract_all_from_batch", w, iters, "edges", func() float64 {
+			edgeBuf = tm.ExtractAllFromBatch(d.FFs, timing.Late, w, edgeBuf[:0])
+			return float64(len(edgeBuf))
+		}))
+	}
+	for _, w := range widths {
+		w := w
+		tm.SetWorkers(w)
+		i := 0
+		out.Micro = append(out.Micro, measure("incremental_update", w, iters, "pins", func() float64 {
+			for j := i % 5; j < len(d.FFs); j += 5 {
+				tm.SetExtraLatency(d.FFs[j], float64((i+j)%23))
+			}
+			i++
+			return float64(tm.Update())
+		}))
+	}
+	tm.SetWorkers(1)
+	out.Micro = append(out.Micro, measure("full_propagation_csr", 1, iters, "pins", func() float64 {
+		tm.FullUpdate()
+		return float64(len(d.Pins))
+	}))
+
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s (%d rows, %d micro-timings)\n", path, len(rows), len(out.Micro))
 }
 
 func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }

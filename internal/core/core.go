@@ -57,6 +57,11 @@ type Options struct {
 	// chains can otherwise crawl by epsilon-sized increments for many
 	// rounds). 0 means the default of 3; negative disables the guard.
 	StallRounds int
+	// Workers sets the worker-pool width for batch extraction and incremental
+	// propagation. 0 keeps the timer's configured width (see
+	// timing.Timer.SetWorkers); negative means GOMAXPROCS. Results are
+	// identical at any width.
+	Workers int
 }
 
 // IterStats records one iteration for the Fig-8 style trajectory.
@@ -117,7 +122,7 @@ func Schedule(tm *timing.Timer, opts Options) *Result {
 	// timing endpoints", §III-B1).
 	lastExtract := map[timing.EndpointID]float64{}
 
-	var violBuf []timing.EndpointID
+	var violBuf, traceBuf []timing.EndpointID
 	var edgeBuf []timing.SeqEdge
 
 	extract := func(force bool) int {
@@ -134,19 +139,23 @@ func Schedule(tm *timing.Timer, opts Options) *Result {
 		} else {
 			violBuf = tm.ViolatedEndpoints(opts.Mode, violBuf[:0])
 		}
-		added := 0
+		// Filter to the newly violated endpoints first, then trace all of
+		// them in one batch so the worker pool sees the whole round's work.
+		traceBuf = traceBuf[:0]
 		for _, e := range violBuf {
 			s := tm.Slack(e, opts.Mode)
 			if prev, ok := lastExtract[e]; ok && !force && math.Abs(prev-s) <= eps {
 				continue
 			}
-			edgeBuf = tm.ExtractEssentialAt(e, opts.Mode, opts.Margin, edgeBuf[:0])
-			for _, se := range edgeBuf {
-				if _, isNew := g.AddSeqEdge(se, isPort); isNew {
-					added++
-				}
-			}
+			traceBuf = append(traceBuf, e)
 			lastExtract[e] = s
+		}
+		edgeBuf = tm.ExtractEssentialBatch(traceBuf, opts.Mode, opts.Margin, opts.Workers, edgeBuf[:0])
+		added := 0
+		for _, se := range edgeBuf {
+			if _, isNew := g.AddSeqEdge(se, isPort); isNew {
+				added++
+			}
 		}
 		return added
 	}

@@ -64,6 +64,10 @@ type Config struct {
 	// optimization" future work) after the late stage.
 	EnableSizing bool
 	Resize       opt.ResizeOptions
+	// Workers sets the timer's worker-pool width for incremental propagation
+	// and batch extraction. 0 leaves the timer serial; negative means
+	// GOMAXPROCS. Results are identical at any width.
+	Workers int
 }
 
 // TrajPoint is one step of the Fig-8 trajectory.
@@ -106,6 +110,9 @@ func Run(input *netlist.Design, cfg Config) (*Report, error) {
 	tm, err := timing.New(d, delay.Default())
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Workers != 0 {
+		tm.SetWorkers(cfg.Workers)
 	}
 	rep := &Report{Method: cfg.Method}
 	rep.Input = eval.Measure(tm)
@@ -158,11 +165,11 @@ func runStage(tm *timing.Timer, rep *Report, cfg Config, mode timing.Mode, phase
 	var targets map[netlist.CellID]float64
 	switch cfg.Method {
 	case ICCSSPlus:
-		res := iccss.Schedule(tm, iccss.Options{Mode: mode, MaxRounds: cfg.MaxRounds})
+		res := iccss.Schedule(tm, iccss.Options{Mode: mode, MaxRounds: cfg.MaxRounds, Workers: cfg.Workers})
 		rep.Rounds += res.Rounds
 		targets = res.Target
 	default:
-		res := core.Schedule(tm, core.Options{Mode: mode, MaxRounds: cfg.MaxRounds, Margin: cfg.Margin})
+		res := core.Schedule(tm, core.Options{Mode: mode, MaxRounds: cfg.MaxRounds, Margin: cfg.Margin, Workers: cfg.Workers})
 		rep.Rounds += res.Rounds
 		targets = res.Target
 		for _, it := range res.PerIter {

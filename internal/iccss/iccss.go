@@ -36,6 +36,10 @@ type Options struct {
 	MaxRounds int // default 200
 	// LatencyUB optionally bounds the scheduled latency per flip-flop (Eq 5).
 	LatencyUB func(ff netlist.CellID) float64
+	// Workers sets the worker-pool width for the critical-vertex extraction
+	// batches (IC-CSS+'s dominant cost). 0 keeps the timer's configured
+	// width; negative means GOMAXPROCS. Results are identical at any width.
+	Workers int
 }
 
 // Result mirrors core.Result for the comparison harness.
@@ -130,12 +134,17 @@ func Schedule(tm *timing.Timer, opts Options) *Result {
 	constraintDone := map[netlist.CellID]bool{}
 
 	var edgeBuf []timing.SeqEdge
+	var critBuf []netlist.CellID
 
 	// extractCritical applies the Eq-8 callback: any vertex that could be
 	// involved in a violation under the current latencies has its complete
-	// edge set pulled in.
+	// edge set pulled in. Criticality depends only on state fixed before the
+	// round (d^out, applied latencies, the early snapshot), so the round's
+	// critical set is collected first and traced as one batch — the timer
+	// fans the full-cone traces out to the worker pool with results
+	// identical to the serial per-vertex loop.
 	extractCritical := func() int {
-		added := 0
+		critBuf = critBuf[:0]
 		if opts.Mode == timing.Late {
 			for _, u := range launches {
 				if extractedFull[u] {
@@ -153,14 +162,9 @@ func Schedule(tm *timing.Timer, opts Options) *Result {
 					continue // not critical (Eq 8, conservative bound)
 				}
 				extractedFull[u] = true
-				res.CriticalVerts++
-				edgeBuf = tm.ExtractAllFrom(u, timing.Late, edgeBuf[:0])
-				for _, se := range edgeBuf {
-					if _, isNew := g.AddSeqEdge(se, isPort); isNew {
-						added++
-					}
-				}
+				critBuf = append(critBuf, u)
 			}
+			edgeBuf = tm.ExtractAllFromBatch(critBuf, timing.Late, opts.Workers, edgeBuf[:0])
 		} else {
 			for _, ff := range d.FFs {
 				if extractedFull[ff] {
@@ -171,13 +175,15 @@ func Schedule(tm *timing.Timer, opts Options) *Result {
 					continue
 				}
 				extractedFull[ff] = true
-				res.CriticalVerts++
-				edgeBuf = tm.ExtractAllInto(ff, timing.Early, edgeBuf[:0])
-				for _, se := range edgeBuf {
-					if _, isNew := g.AddSeqEdge(se, isPort); isNew {
-						added++
-					}
-				}
+				critBuf = append(critBuf, ff)
+			}
+			edgeBuf = tm.ExtractAllIntoBatch(critBuf, timing.Early, opts.Workers, edgeBuf[:0])
+		}
+		res.CriticalVerts += len(critBuf)
+		added := 0
+		for _, se := range edgeBuf {
+			if _, isNew := g.AddSeqEdge(se, isPort); isNew {
+				added++
 			}
 		}
 		return added

@@ -1,0 +1,182 @@
+package timing
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"iterskew/internal/netlist"
+)
+
+// Parallel batch extraction (§III-B at scale): violated endpoints are
+// independent trace roots, so the batch extractors shard them across a worker
+// pool. Each worker owns an epoch-versioned traceState, a Counters block and
+// an edge buffer — no maps, no per-call allocation after warm-up — and the
+// per-root result spans are merged back in root order, so the output is
+// byte-identical to the serial per-root loop regardless of worker count or
+// scheduling.
+
+// span records which slice of a worker's edge buffer belongs to root idx.
+type span struct {
+	idx    int32
+	lo, hi int32
+}
+
+// spanRef locates root i's edges after a batch run: worker w (1-based; 0 ⇒
+// not traced), half-open buffer range [lo,hi).
+type spanRef struct {
+	w      int32
+	lo, hi int32
+}
+
+type extractWorker struct {
+	st    traceState
+	cnt   Counters
+	buf   []SeqEdge
+	spans []span
+}
+
+// extractPool is the reusable per-timer scratch for batch extraction. It is
+// not safe for concurrent batch calls on one Timer (the Timer itself is not
+// concurrency-safe either).
+type extractPool struct {
+	workers []extractWorker
+	refs    []spanRef
+}
+
+func (pl *extractPool) prepare(workers, n int) []extractWorker {
+	if len(pl.workers) < workers {
+		ws := make([]extractWorker, workers)
+		copy(ws, pl.workers)
+		pl.workers = ws
+	}
+	ws := pl.workers[:workers]
+	for i := range ws {
+		ws[i].cnt = Counters{}
+		ws[i].buf = ws[i].buf[:0]
+		ws[i].spans = ws[i].spans[:0]
+	}
+	if cap(pl.refs) < n {
+		pl.refs = make([]spanRef, n)
+	}
+	refs := pl.refs[:n]
+	for i := range refs {
+		refs[i] = spanRef{}
+	}
+	return ws
+}
+
+func (c *Counters) add(o Counters) {
+	c.ForwardPinVisits += o.ForwardPinVisits
+	c.BackwardPinVisits += o.BackwardPinVisits
+	c.FullUpdates += o.FullUpdates
+	c.IncrementalSeeds += o.IncrementalSeeds
+	c.ExtractedEdges += o.ExtractedEdges
+	c.ExtractArcVisits += o.ExtractArcVisits
+}
+
+// batchWorkers resolves a caller-supplied worker count: 0 ⇒ the timer's
+// configured width, negative ⇒ GOMAXPROCS.
+func (t *Timer) batchWorkers(workers, n int) int {
+	if workers == 0 {
+		workers = t.workers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// runBatch shards n independent trace roots across the pool. trace must
+// append root i's edges to w.buf using only w-local mutable state; roots are
+// claimed from an atomic cursor so workers stay busy on skewed cone sizes.
+// Edges are merged into dst in root order and worker counters fold into
+// t.Stats, making the result and the stats identical to the serial loop.
+func (t *Timer) runBatch(n, workers int, dst []SeqEdge, trace func(w *extractWorker, i int)) []SeqEdge {
+	// Workers must never touch the lazy load cache concurrently.
+	t.refreshNetLoads()
+	ws := t.pool.prepare(workers, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wi := range ws {
+		wg.Add(1)
+		go func(w *extractWorker) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				lo := int32(len(w.buf))
+				trace(w, i)
+				w.spans = append(w.spans, span{idx: int32(i), lo: lo, hi: int32(len(w.buf))})
+			}
+		}(&ws[wi])
+	}
+	wg.Wait()
+
+	refs := t.pool.refs[:n]
+	for wi := range ws {
+		for _, s := range ws[wi].spans {
+			refs[s.idx] = spanRef{w: int32(wi) + 1, lo: s.lo, hi: s.hi}
+		}
+		t.Stats.add(ws[wi].cnt)
+	}
+	for i := 0; i < n; i++ {
+		if r := refs[i]; r.w != 0 {
+			dst = append(dst, ws[r.w-1].buf[r.lo:r.hi]...)
+		}
+	}
+	return dst
+}
+
+// ExtractEssentialBatch runs ExtractEssentialAt for every endpoint in order,
+// fanning the traces out to `workers` goroutines (0 ⇒ the timer's configured
+// width, see SetWorkers; negative ⇒ GOMAXPROCS). The appended edges and the
+// updated Stats are identical to calling ExtractEssentialAt serially in
+// endpoint order.
+func (t *Timer) ExtractEssentialBatch(endpoints []EndpointID, m Mode, margin float64, workers int, dst []SeqEdge) []SeqEdge {
+	workers = t.batchWorkers(workers, len(endpoints))
+	if workers <= 1 || len(endpoints) < 2 {
+		for _, e := range endpoints {
+			dst = t.extractEssential(&t.trace, &t.Stats, e, m, margin, dst)
+		}
+		return dst
+	}
+	return t.runBatch(len(endpoints), workers, dst, func(w *extractWorker, i int) {
+		w.buf = t.extractEssential(&w.st, &w.cnt, endpoints[i], m, margin, w.buf)
+	})
+}
+
+// ExtractAllFromBatch runs ExtractAllFrom for every launch vertex in order
+// with the same worker-pool semantics as ExtractEssentialBatch.
+func (t *Timer) ExtractAllFromBatch(launches []netlist.CellID, m Mode, workers int, dst []SeqEdge) []SeqEdge {
+	workers = t.batchWorkers(workers, len(launches))
+	if workers <= 1 || len(launches) < 2 {
+		for _, c := range launches {
+			dst = t.extractAllFrom(&t.trace, &t.Stats, c, m, dst)
+		}
+		return dst
+	}
+	return t.runBatch(len(launches), workers, dst, func(w *extractWorker, i int) {
+		w.buf = t.extractAllFrom(&w.st, &w.cnt, launches[i], m, w.buf)
+	})
+}
+
+// ExtractAllIntoBatch runs ExtractAllInto for every capture vertex in order
+// with the same worker-pool semantics as ExtractEssentialBatch.
+func (t *Timer) ExtractAllIntoBatch(captures []netlist.CellID, m Mode, workers int, dst []SeqEdge) []SeqEdge {
+	workers = t.batchWorkers(workers, len(captures))
+	if workers <= 1 || len(captures) < 2 {
+		for _, c := range captures {
+			dst = t.extractAllInto(&t.trace, &t.Stats, c, m, dst)
+		}
+		return dst
+	}
+	return t.runBatch(len(captures), workers, dst, func(w *extractWorker, i int) {
+		w.buf = t.extractAllInto(&w.st, &w.cnt, captures[i], m, w.buf)
+	})
+}

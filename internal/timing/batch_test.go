@@ -1,0 +1,81 @@
+package timing_test
+
+import (
+	"math"
+	"testing"
+
+	"iterskew/internal/bench"
+	"iterskew/internal/delay"
+	"iterskew/internal/timing"
+)
+
+// genTimer builds a timer over a generated design big enough to engage the
+// worker pools (bucket sizes past the parallel threshold, hundreds of
+// violated endpoints).
+func genTimer(t *testing.T) *timing.Timer {
+	t.Helper()
+	p, err := bench.Superblue("superblue18", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := bench.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := timing.New(d, delay.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+// TestBatchExtractionMatchesSerial pins the in-package contract: the batch
+// extractors append exactly the serial loop's edges, in the same order.
+func TestBatchExtractionMatchesSerial(t *testing.T) {
+	tm := genTimer(t)
+	for _, m := range []timing.Mode{timing.Late, timing.Early} {
+		endpoints := tm.ViolatedEndpoints(m, nil)
+		if len(endpoints) == 0 {
+			t.Fatalf("mode %v: generated design has no violations to trace", m)
+		}
+		var serial []timing.SeqEdge
+		for _, e := range endpoints {
+			serial = tm.ExtractEssentialAt(e, m, 0, serial)
+		}
+		batch := tm.ExtractEssentialBatch(endpoints, m, 0, 8, nil)
+		if len(serial) != len(batch) {
+			t.Fatalf("mode %v: %d serial edges vs %d batch", m, len(serial), len(batch))
+		}
+		for i := range serial {
+			if serial[i] != batch[i] {
+				t.Fatalf("mode %v edge %d: %+v vs %+v", m, i, serial[i], batch[i])
+			}
+		}
+	}
+}
+
+// TestBatchExtractionRace is meaningful under -race: it hammers the batch
+// extractors and the parallel incremental Update with 8 workers while
+// latencies move between rounds.
+func TestBatchExtractionRace(t *testing.T) {
+	tm := genTimer(t)
+	tm.SetWorkers(8)
+	d := tm.D
+	for round := 0; round < 4; round++ {
+		for i, ff := range d.FFs {
+			if i%3 == round%3 {
+				tm.SetExtraLatency(ff, float64((i+round)%31))
+			}
+		}
+		tm.Update()
+		for _, m := range []timing.Mode{timing.Late, timing.Early} {
+			viol := tm.ViolatedEndpoints(m, nil)
+			tm.ExtractEssentialBatch(viol, m, 0, 8, nil)
+		}
+		tm.ExtractAllFromBatch(d.FFs, timing.Late, 8, nil)
+		tm.ExtractAllIntoBatch(d.FFs, timing.Early, 8, nil)
+	}
+	if wns, _ := tm.WNSTNS(timing.Late); math.IsNaN(wns) {
+		t.Error("NaN WNS after parallel rounds")
+	}
+}

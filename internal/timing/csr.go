@@ -1,0 +1,153 @@
+package timing
+
+import (
+	"iterskew/internal/netlist"
+)
+
+// CSR adjacency cache.
+//
+// The data-graph topology is static after New (cell moves and LCB–FF
+// reconnection change delays and clock connectivity, never data connectivity),
+// so the timer flattens both arc directions into compressed-sparse-row arrays
+// once and every propagation, levelization and extraction walk iterates plain
+// slices instead of re-deriving fanin/fanout through net and cell probing.
+//
+// An arc stores its target pin plus the information needed to re-derive its
+// current delay cheaply:
+//
+//   - wire arc (Net != NoNet): driver→sink interconnect arc over Net; the
+//     delay is M.SinkWireDelay(D, Net, sinkPin), where the sink pin is the
+//     input-pin end of the arc (the CSR owner for backward arcs, the target
+//     for forward arcs);
+//   - cell arc (Net == NoNet): combinational input→output arc; the delay is
+//     cellArcDelay(outPin), where the output pin is the CSR owner for
+//     backward arcs and the target for forward arcs.
+//
+// A pin's arcs are homogeneous (an input pin has only wire fanin and cell
+// fanout; an output pin the reverse), which the hot loops exploit by hoisting
+// the shared cell-arc delay out of the loop.
+type arcRef struct {
+	To  netlist.PinID
+	Net netlist.NetID // NoNet ⇒ cell arc
+}
+
+// buildCSR flattens the data timing graph. classifyPins must have run.
+func (t *Timer) buildCSR() {
+	d := t.D
+	np := len(d.Pins)
+	t.fwdOff = make([]int32, np+1)
+	t.bwdOff = make([]int32, np+1)
+
+	// Counting pass.
+	for i := 0; i < np; i++ {
+		if !t.inData[i] {
+			continue
+		}
+		p := netlist.PinID(i)
+		pin := &d.Pins[i]
+		if pin.Dir == netlist.DirIn {
+			// Fanin: the driver of the pin's net, when in the data graph.
+			if pin.Net != netlist.NoNet {
+				if drv := d.Nets[pin.Net].Driver; drv != netlist.NoPin && t.inData[drv] {
+					t.bwdOff[i+1]++
+					t.fwdOff[drv+1]++
+				}
+			}
+			// Fanout: the owning cell's output arc (combinational cells only).
+			cell := &d.Cells[pin.Cell]
+			if cell.Type.Kind == netlist.KindComb {
+				t.fwdOff[i+1]++
+				out := cell.Pins[len(cell.Pins)-1]
+				t.bwdOff[out+1]++
+			}
+		}
+		_ = p
+	}
+	for i := 0; i < np; i++ {
+		t.fwdOff[i+1] += t.fwdOff[i]
+		t.bwdOff[i+1] += t.bwdOff[i]
+	}
+	t.fwdArc = make([]arcRef, t.fwdOff[np])
+	t.bwdArc = make([]arcRef, t.bwdOff[np])
+
+	// Filling pass, preserving the historical iteration orders: wire fanout
+	// in net-sink order, cell fanin in cell-input order.
+	fc := make([]int32, np) // fill cursor per pin
+	bc := make([]int32, np)
+	for i := 0; i < np; i++ {
+		if !t.inData[i] {
+			continue
+		}
+		pin := &d.Pins[i]
+		if pin.Dir == netlist.DirOut {
+			// Wire fanout of an output pin, in sink order.
+			if pin.Net != netlist.NoNet && !d.Nets[pin.Net].IsClock {
+				for _, s := range d.Nets[pin.Net].Sinks {
+					if t.inData[s] {
+						t.fwdArc[t.fwdOff[i]+fc[i]] = arcRef{To: s, Net: pin.Net}
+						fc[i]++
+						t.bwdArc[t.bwdOff[s]+bc[s]] = arcRef{To: netlist.PinID(i), Net: pin.Net}
+						bc[s]++
+					}
+				}
+			}
+			// Cell fanin of a combinational output, in input order.
+			cell := &d.Cells[pin.Cell]
+			if cell.Type.Kind == netlist.KindComb {
+				for k := 0; k < cell.Type.NumInputs; k++ {
+					in := cell.Pins[k]
+					t.bwdArc[t.bwdOff[i]+bc[i]] = arcRef{To: in, Net: netlist.NoNet}
+					bc[i]++
+					t.fwdArc[t.fwdOff[in]+fc[in]] = arcRef{To: netlist.PinID(i), Net: netlist.NoNet}
+					fc[in]++
+				}
+			}
+		}
+	}
+}
+
+// faninArcs returns the packed fanin arcs of p (empty for non-data pins).
+func (t *Timer) faninArcs(p netlist.PinID) []arcRef {
+	return t.bwdArc[t.bwdOff[p]:t.bwdOff[p+1]]
+}
+
+// fanoutArcs returns the packed fanout arcs of p.
+func (t *Timer) fanoutArcs(p netlist.PinID) []arcRef {
+	return t.fwdArc[t.fwdOff[p]:t.fwdOff[p+1]]
+}
+
+// fanoutArcDelay returns the delay of a forward arc leaving any pin: the
+// sink-specific wire delay, or the target output's cell-arc delay.
+func (t *Timer) fanoutArcDelay(a arcRef) float64 {
+	if a.Net == netlist.NoNet {
+		return t.cellArcDelay(a.To)
+	}
+	return t.M.SinkWireDelay(t.D, a.Net, a.To)
+}
+
+// forEachFanin invokes f for every data arc entering pin p with the arc's
+// current delay. Hot paths iterate the CSR directly; this closure form
+// remains for tests and cold callers.
+func (t *Timer) forEachFanin(p netlist.PinID, f func(q netlist.PinID, d float64)) {
+	arcs := t.faninArcs(p)
+	if len(arcs) == 0 {
+		return
+	}
+	if arcs[0].Net == netlist.NoNet {
+		cd := t.cellArcDelay(p) // shared by all inputs of the cell
+		for _, a := range arcs {
+			f(a.To, cd)
+		}
+		return
+	}
+	for _, a := range arcs {
+		f(a.To, t.M.SinkWireDelay(t.D, a.Net, p))
+	}
+}
+
+// forEachFanout invokes f for every data arc leaving pin p.
+func (t *Timer) forEachFanout(p netlist.PinID, f func(q netlist.PinID, d float64)) {
+	for _, a := range t.fanoutArcs(p) {
+		f(a.To, t.fanoutArcDelay(a))
+	}
+}

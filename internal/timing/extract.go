@@ -47,21 +47,35 @@ func (t *Timer) EdgeSlack(e SeqEdge) float64 {
 }
 
 // traceState carries the version-stamped scratch space for path tracing so
-// repeated extractions do not reallocate or clear per-pin arrays.
+// repeated extractions do not reallocate or clear per-pin arrays. Each batch
+// worker owns one, so extraction traces can run concurrently without sharing.
+//
+// found* hold the per-trace best delay per terminal cell (launch or capture),
+// stamped by the same epoch as the pin labels; foundList records discovery
+// order so edge emission is deterministic (map iteration order is not).
 type traceState struct {
 	dd    []float64
 	stamp []int32
 	cur   int32
 	stack []netlist.PinID
+
+	foundVal   []float64
+	foundStamp []int32
+	foundList  []netlist.CellID
 }
 
-func (s *traceState) reset(np int) {
+func (s *traceState) reset(np, nc int) {
 	if len(s.dd) < np {
 		s.dd = make([]float64, np)
 		s.stamp = make([]int32, np)
 	}
+	if len(s.foundVal) < nc {
+		s.foundVal = make([]float64, nc)
+		s.foundStamp = make([]int32, nc)
+	}
 	s.cur++
 	s.stack = s.stack[:0]
+	s.foundList = s.foundList[:0]
 }
 
 func (s *traceState) get(p netlist.PinID, def float64) float64 {
@@ -76,6 +90,24 @@ func (s *traceState) set(p netlist.PinID, v float64) {
 	s.dd[p] = v
 }
 
+// note records v for terminal cell c, keeping the max in Late mode and the
+// min in Early mode across repeated visits.
+func (s *traceState) note(c netlist.CellID, v float64, late bool) {
+	if s.foundStamp[c] != s.cur {
+		s.foundStamp[c] = s.cur
+		s.foundVal[c] = v
+		s.foundList = append(s.foundList, c)
+		return
+	}
+	if late {
+		if v > s.foundVal[c] {
+			s.foundVal[c] = v
+		}
+	} else if v < s.foundVal[c] {
+		s.foundVal[c] = v
+	}
+}
+
 // ExtractEssentialAt performs the paper's essential-edge extraction (§III-B1)
 // for one violated endpoint: a pruned backward trace over the gate-level
 // timing graph from the endpoint's data pin that yields exactly the
@@ -86,14 +118,22 @@ func (s *traceState) set(p netlist.PinID, v float64) {
 // cannot violate, so its cost is proportional to the violating cone, not the
 // full fanin cone.
 func (t *Timer) ExtractEssentialAt(e EndpointID, m Mode, margin float64, dst []SeqEdge) []SeqEdge {
+	return t.extractEssential(&t.trace, &t.Stats, e, m, margin, dst)
+}
+
+// extractEssential is the reentrant core of ExtractEssentialAt: all mutable
+// state lives in st and cnt, so batch workers run it concurrently against
+// read-only timer state (loads must be refreshed first; see refreshNetLoads).
+func (t *Timer) extractEssential(st *traceState, cnt *Counters, e EndpointID, m Mode, margin float64, dst []SeqEdge) []SeqEdge {
 	ep := t.endpoints[e]
 	p0 := ep.Pin
 	if !t.inData[p0] {
 		return dst
 	}
 	rl, re, _ := t.endpointRequired(p0)
+	late := m == Late
 	var limit float64
-	if m == Late {
+	if late {
 		limit = rl - margin // violation ⇔ arrival > limit
 		if math.IsInf(t.atMax[p0], -1) || t.atMax[p0] <= limit+eps {
 			return dst
@@ -110,58 +150,57 @@ func (t *Timer) ExtractEssentialAt(e EndpointID, m Mode, margin float64, dst []S
 		der = t.dEarly
 	}
 
-	st := &t.trace
-	st.reset(len(t.D.Pins))
+	st.reset(len(t.D.Pins), len(t.D.Cells))
 	st.set(p0, 0)
 	st.stack = append(st.stack, p0)
-
-	// best extreme (source arrival + downstream delay) per launch cell
-	found := map[netlist.CellID]float64{}
 
 	for len(st.stack) > 0 {
 		p := st.stack[len(st.stack)-1]
 		st.stack = st.stack[:len(st.stack)-1]
 		dd := st.get(p, 0)
 		if _, _, isSrc := t.sourceArrival(p); isSrc {
-			launch := t.D.Pins[p].Cell
-			var arrive float64
-			if m == Late {
-				arrive = t.atMax[p] + dd
-				if prev, ok := found[launch]; !ok || arrive > prev {
-					found[launch] = arrive
-				}
+			if late {
+				st.note(t.D.Pins[p].Cell, t.atMax[p]+dd, true)
 			} else {
-				arrive = t.atMin[p] + dd
-				if prev, ok := found[launch]; !ok || arrive < prev {
-					found[launch] = arrive
-				}
+				st.note(t.D.Pins[p].Cell, t.atMin[p]+dd, false)
 			}
 			continue
 		}
-		t.forEachFanin(p, func(q netlist.PinID, ad float64) {
-			t.Stats.ExtractArcVisits++
+		arcs := t.faninArcs(p)
+		cnt.ExtractArcVisits += int64(len(arcs))
+		cellArc := len(arcs) > 0 && arcs[0].Net == netlist.NoNet
+		var cd float64
+		if cellArc {
+			cd = t.cellArcDelay(p) // shared by all inputs of the cell
+		}
+		for _, a := range arcs {
+			q := a.To
+			ad := cd
+			if !cellArc {
+				ad = t.M.SinkWireDelay(t.D, a.Net, p)
+			}
 			nd := dd + ad*der
-			if m == Late {
+			if late {
 				if math.IsInf(t.atMax[q], -1) || t.atMax[q]+nd <= limit+eps {
-					return // cannot complete into a violation
+					continue // cannot complete into a violation
 				}
 				if cur := st.get(q, math.Inf(-1)); nd <= cur {
-					return // dominated
+					continue // dominated
 				}
 			} else {
 				if math.IsInf(t.atMin[q], 1) || t.atMin[q]+nd >= limit-eps {
-					return
+					continue
 				}
 				if cur := st.get(q, math.Inf(1)); nd >= cur {
-					return
+					continue
 				}
 			}
 			st.set(q, nd)
 			st.stack = append(st.stack, q)
-		})
+		}
 	}
 
-	for launch, arrive := range found {
+	for _, launch := range st.foundList {
 		// arrival = launch latency + Delay; Delay excludes the latency
 		// (ports launch at the virtual clock's PortLatency).
 		var lat float64
@@ -170,9 +209,9 @@ func (t *Timer) ExtractEssentialAt(e EndpointID, m Mode, margin float64, dst []S
 		} else {
 			lat = t.D.PortLatency
 		}
-		dst = append(dst, SeqEdge{Launch: launch, Capture: ep.Cell, Delay: arrive - lat, Mode: m})
+		dst = append(dst, SeqEdge{Launch: launch, Capture: ep.Cell, Delay: st.foundVal[launch] - lat, Mode: m})
 	}
-	t.Stats.ExtractedEdges += int64(len(found))
+	cnt.ExtractedEdges += int64(len(st.foundList))
 	return dst
 }
 
@@ -181,6 +220,10 @@ func (t *Timer) ExtractEssentialAt(e EndpointID, m Mode, margin float64, dst []S
 // the IC-CSS callback of [9]. All reachable endpoints are reported,
 // violating or not.
 func (t *Timer) ExtractAllFrom(launch netlist.CellID, m Mode, dst []SeqEdge) []SeqEdge {
+	return t.extractAllFrom(&t.trace, &t.Stats, launch, m, dst)
+}
+
+func (t *Timer) extractAllFrom(st *traceState, cnt *Counters, launch netlist.CellID, m Mode, dst []SeqEdge) []SeqEdge {
 	var src netlist.PinID
 	if t.ffIdx[launch] >= 0 {
 		src = t.D.FFQ(launch)
@@ -191,56 +234,51 @@ func (t *Timer) ExtractAllFrom(launch netlist.CellID, m Mode, dst []SeqEdge) []S
 		return dst
 	}
 
+	late := m == Late
 	der := t.dLate
-	if m == Early {
+	def := math.Inf(1)
+	if late {
+		def = math.Inf(-1)
+	} else {
 		der = t.dEarly
 	}
 
-	st := &t.trace
-	st.reset(len(t.D.Pins))
+	st.reset(len(t.D.Pins), len(t.D.Cells))
 	st.set(src, 0)
 	st.stack = append(st.stack, src)
-
-	found := map[netlist.CellID]float64{}
-
-	better := func(a, b float64) bool {
-		if m == Late {
-			return a > b
-		}
-		return a < b
-	}
-	def := math.Inf(1)
-	if m == Late {
-		def = math.Inf(-1)
-	}
 
 	for len(st.stack) > 0 {
 		p := st.stack[len(st.stack)-1]
 		st.stack = st.stack[:len(st.stack)-1]
 		dd := st.get(p, 0)
 		if _, _, isEnd := t.endpointRequired(p); isEnd {
-			capt := t.D.Pins[p].Cell
-			if prev, ok := found[capt]; !ok || better(dd, prev) {
-				found[capt] = dd
-			}
+			st.note(t.D.Pins[p].Cell, dd, late)
 			continue
 		}
-		t.forEachFanout(p, func(q netlist.PinID, ad float64) {
-			t.Stats.ExtractArcVisits++
-			nd := dd + ad*der
-			if cur := st.get(q, def); !better(nd, cur) {
-				return
+		arcs := t.fanoutArcs(p)
+		cnt.ExtractArcVisits += int64(len(arcs))
+		for _, a := range arcs {
+			q := a.To
+			nd := dd + t.fanoutArcDelay(a)*der
+			if late {
+				if cur := st.get(q, def); nd <= cur {
+					continue
+				}
+			} else {
+				if cur := st.get(q, def); nd >= cur {
+					continue
+				}
 			}
 			st.set(q, nd)
 			st.stack = append(st.stack, q)
-		})
+		}
 	}
 
 	ld := t.launchDelay(launch, m)
-	for capture, dd := range found {
-		dst = append(dst, SeqEdge{Launch: launch, Capture: capture, Delay: ld + dd, Mode: m})
+	for _, capture := range st.foundList {
+		dst = append(dst, SeqEdge{Launch: launch, Capture: capture, Delay: ld + st.foundVal[capture], Mode: m})
 	}
-	t.Stats.ExtractedEdges += int64(len(found))
+	cnt.ExtractedEdges += int64(len(st.foundList))
 	return dst
 }
 
@@ -268,6 +306,10 @@ func (t *Timer) launchDelay(launch netlist.CellID, m Mode) float64 {
 // by a full (unpruned) backward traversal — the latency-constraint edge
 // extraction of IC-CSS+ (§III-E ii).
 func (t *Timer) ExtractAllInto(capture netlist.CellID, m Mode, dst []SeqEdge) []SeqEdge {
+	return t.extractAllInto(&t.trace, &t.Stats, capture, m, dst)
+}
+
+func (t *Timer) extractAllInto(st *traceState, cnt *Counters, capture netlist.CellID, m Mode, dst []SeqEdge) []SeqEdge {
 	e := t.endpointOf[capture]
 	if e == NoEndpoint {
 		return dst
@@ -277,54 +319,59 @@ func (t *Timer) ExtractAllInto(capture netlist.CellID, m Mode, dst []SeqEdge) []
 		return dst
 	}
 
+	late := m == Late
 	der := t.dLate
-	if m == Early {
+	def := math.Inf(1)
+	if late {
+		def = math.Inf(-1)
+	} else {
 		der = t.dEarly
 	}
 
-	st := &t.trace
-	st.reset(len(t.D.Pins))
+	st.reset(len(t.D.Pins), len(t.D.Cells))
 	st.set(p0, 0)
 	st.stack = append(st.stack, p0)
-
-	found := map[netlist.CellID]float64{}
-	better := func(a, b float64) bool {
-		if m == Late {
-			return a > b
-		}
-		return a < b
-	}
-	def := math.Inf(1)
-	if m == Late {
-		def = math.Inf(-1)
-	}
 
 	for len(st.stack) > 0 {
 		p := st.stack[len(st.stack)-1]
 		st.stack = st.stack[:len(st.stack)-1]
 		dd := st.get(p, 0)
 		if _, _, isSrc := t.sourceArrival(p); isSrc {
-			launch := t.D.Pins[p].Cell
-			if prev, ok := found[launch]; !ok || better(dd, prev) {
-				found[launch] = dd
-			}
+			st.note(t.D.Pins[p].Cell, dd, late)
 			continue
 		}
-		t.forEachFanin(p, func(q netlist.PinID, ad float64) {
-			t.Stats.ExtractArcVisits++
+		arcs := t.faninArcs(p)
+		cnt.ExtractArcVisits += int64(len(arcs))
+		cellArc := len(arcs) > 0 && arcs[0].Net == netlist.NoNet
+		var cd float64
+		if cellArc {
+			cd = t.cellArcDelay(p)
+		}
+		for _, a := range arcs {
+			q := a.To
+			ad := cd
+			if !cellArc {
+				ad = t.M.SinkWireDelay(t.D, a.Net, p)
+			}
 			nd := dd + ad*der
-			if cur := st.get(q, def); !better(nd, cur) {
-				return
+			if late {
+				if cur := st.get(q, def); nd <= cur {
+					continue
+				}
+			} else {
+				if cur := st.get(q, def); nd >= cur {
+					continue
+				}
 			}
 			st.set(q, nd)
 			st.stack = append(st.stack, q)
-		})
+		}
 	}
 
-	for launch, dd := range found {
-		dst = append(dst, SeqEdge{Launch: launch, Capture: capture, Delay: t.launchDelay(launch, m) + dd, Mode: m})
+	for _, launch := range st.foundList {
+		dst = append(dst, SeqEdge{Launch: launch, Capture: capture, Delay: t.launchDelay(launch, m) + st.foundVal[launch], Mode: m})
 	}
-	t.Stats.ExtractedEdges += int64(len(found))
+	cnt.ExtractedEdges += int64(len(st.foundList))
 	return dst
 }
 
@@ -349,7 +396,7 @@ func (t *Timer) DOut(launch netlist.CellID) float64 {
 }
 
 // computeDOut fills t.dout with the maximum delay from each pin to any
-// endpoint, in one reverse-topological pass.
+// endpoint, in one reverse-topological pass over the CSR fanout arrays.
 func (t *Timer) computeDOut() {
 	np := len(t.D.Pins)
 	if len(t.dout) < np {
@@ -365,11 +412,11 @@ func (t *Timer) computeDOut() {
 			continue
 		}
 		best := math.Inf(-1)
-		t.forEachFanout(p, func(q netlist.PinID, ad float64) {
-			if v := t.dout[q] + ad*t.dLate; v > best {
+		for _, a := range t.fanoutArcs(p) {
+			if v := t.dout[a.To] + t.fanoutArcDelay(a)*t.dLate; v > best {
 				best = v
 			}
-		})
+		}
 		t.dout[p] = best
 	}
 	t.doutValid = true

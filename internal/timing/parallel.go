@@ -15,6 +15,29 @@ import (
 // worker pool, with a barrier between levels. Net loads are refreshed
 // serially first so the workers never touch the lazy load cache.
 
+// chunked splits [0,n) into contiguous ranges and runs body on each from its
+// own goroutine, waiting for all of them. body(lo, hi) must only touch state
+// disjoint from the other chunks.
+func chunked(workers, n int, body func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
 // levelBuckets groups the topological order by level (computed lazily).
 func (t *Timer) levelBuckets() [][]netlist.PinID {
 	if t.lvlBuckets == nil {
@@ -40,13 +63,10 @@ func (t *Timer) FullUpdateParallel(workers int) {
 		t.netDirty[i] = true
 	}
 	t.recomputeClock()
-	t.dirtyFFs = map[netlist.CellID]struct{}{}
-	t.dirtyCell = map[netlist.CellID]struct{}{}
+	t.clearDirty()
 
 	// Refresh every net load serially: the workers then only read.
-	for n := range t.netLoad {
-		t.loadOf(netlist.NetID(n))
-	}
+	t.refreshNetLoads()
 
 	for i := range t.atMax {
 		t.atMax[i] = math.Inf(-1)
@@ -57,32 +77,17 @@ func (t *Timer) FullUpdateParallel(workers int) {
 
 	buckets := t.levelBuckets()
 	run := func(bucket []netlist.PinID, eval func(netlist.PinID) bool) {
-		if len(bucket) < 64 || workers == 1 {
+		if len(bucket) < parallelBucketMin || workers == 1 {
 			for _, p := range bucket {
 				eval(p)
 			}
 			return
 		}
-		var wg sync.WaitGroup
-		chunk := (len(bucket) + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			if lo >= len(bucket) {
-				break
+		chunked(workers, len(bucket), func(lo, hi int) {
+			for _, p := range bucket[lo:hi] {
+				eval(p)
 			}
-			hi := lo + chunk
-			if hi > len(bucket) {
-				hi = len(bucket)
-			}
-			wg.Add(1)
-			go func(part []netlist.PinID) {
-				defer wg.Done()
-				for _, p := range part {
-					eval(p)
-				}
-			}(bucket[lo:hi])
-		}
-		wg.Wait()
+		})
 	}
 
 	for lvl := 0; lvl <= int(t.maxLvl); lvl++ {

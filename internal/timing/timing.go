@@ -22,6 +22,7 @@ package timing
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"iterskew/internal/delay"
 	"iterskew/internal/netlist"
@@ -84,6 +85,12 @@ type Timer struct {
 	order  []netlist.PinID
 	maxLvl int32
 
+	// CSR adjacency cache (see csr.go). Built once at New.
+	fwdOff []int32
+	fwdArc []arcRef
+	bwdOff []int32
+	bwdArc []arcRef
+
 	// Per-net driver load cache.
 	netLoad  []float64
 	netDirty []bool
@@ -100,14 +107,22 @@ type Timer struct {
 	endpoints  []Endpoint
 	endpointOf []EndpointID // cell -> endpoint (-1 if none)
 
-	// Worklist state for incremental propagation.
-	dirtyFFs  map[netlist.CellID]struct{}
-	dirtyCell map[netlist.CellID]struct{}
+	// Pending-change queues for incremental propagation: index lists guarded
+	// by in-queue bitsets, so repeated SetExtraLatency/DirtyCell calls stay
+	// allocation-free and Update drains them in deterministic append order.
+	dirtyFFList   []netlist.CellID
+	ffDirtyMark   []bool // indexed by FF index
+	dirtyCellList []netlist.CellID
+	cellDirtyMark []bool // indexed by cell
+	netSeen       []bool // structural-update net dedup scratch
+	netSeenList   []netlist.NetID
+	clkChanged    []netlist.CellID // recomputeClock result scratch
 
 	fwdBuckets [][]netlist.PinID
 	bwdBuckets [][]netlist.PinID
 	inFwd      []bool
 	inBwd      []bool
+	changedBuf []bool // per-bucket parallel changed flags
 
 	// Extraction scratch state.
 	trace     traceState
@@ -116,6 +131,8 @@ type Timer struct {
 
 	// Parallel-propagation state.
 	lvlBuckets [][]netlist.PinID
+	workers    int          // worker-pool width used by Update (1 = serial)
+	pool       extractPool  // batch-extraction worker scratch (batch.go)
 
 	// Analysis-corner derates (from M; 1.0 when unset).
 	dEarly, dLate float64
@@ -127,12 +144,11 @@ type Timer struct {
 // It returns an error if the data graph contains a combinational cycle.
 func New(d *netlist.Design, m delay.Model) (*Timer, error) {
 	t := &Timer{
-		D:         d,
-		M:         m,
-		dirtyFFs:  map[netlist.CellID]struct{}{},
-		dirtyCell: map[netlist.CellID]struct{}{},
-		dEarly:    m.DerateEarly,
-		dLate:     m.DerateLate,
+		D:       d,
+		M:       m,
+		workers: 1,
+		dEarly:  m.DerateEarly,
+		dLate:   m.DerateLate,
 	}
 	if t.dEarly == 0 {
 		t.dEarly = 1
@@ -149,8 +165,10 @@ func New(d *netlist.Design, m delay.Model) (*Timer, error) {
 	t.reqMax = make([]float64, np)
 	t.netLoad = make([]float64, len(d.Nets))
 	t.netDirty = make([]bool, len(d.Nets))
+	t.netSeen = make([]bool, len(d.Nets))
 	t.inFwd = make([]bool, np)
 	t.inBwd = make([]bool, np)
+	t.cellDirtyMark = make([]bool, len(d.Cells))
 
 	t.ffIdx = make([]int32, len(d.Cells))
 	t.endpointOf = make([]EndpointID, len(d.Cells))
@@ -163,6 +181,7 @@ func New(d *netlist.Design, m delay.Model) (*Timer, error) {
 	}
 	t.baseLat = make([]float64, len(d.FFs))
 	t.extraLat = make([]float64, len(d.FFs))
+	t.ffDirtyMark = make([]bool, len(d.FFs))
 
 	for _, ff := range d.FFs {
 		t.endpointOf[ff] = EndpointID(len(t.endpoints))
@@ -174,6 +193,7 @@ func New(d *netlist.Design, m delay.Model) (*Timer, error) {
 	}
 
 	t.classifyPins()
+	t.buildCSR()
 	if err := t.levelize(); err != nil {
 		return nil, err
 	}
@@ -206,57 +226,6 @@ func (t *Timer) classifyPins() {
 	}
 }
 
-// forEachFanin invokes f for every data arc entering pin p with the arc's
-// current delay.
-func (t *Timer) forEachFanin(p netlist.PinID, f func(q netlist.PinID, d float64)) {
-	d := t.D
-	pin := &d.Pins[p]
-	if pin.Dir == netlist.DirIn {
-		if pin.Net == netlist.NoNet {
-			return
-		}
-		drv := d.Nets[pin.Net].Driver
-		if drv == netlist.NoPin || !t.inData[drv] {
-			return
-		}
-		f(drv, t.M.SinkWireDelay(d, pin.Net, p))
-		return
-	}
-	// Output pin: cell arcs from the inputs (combinational cells only; FF Q
-	// pins and port outputs are sources).
-	cell := &d.Cells[pin.Cell]
-	if cell.Type.Kind != netlist.KindComb {
-		return
-	}
-	cd := t.cellArcDelay(p)
-	for i := 0; i < cell.Type.NumInputs; i++ {
-		f(cell.Pins[i], cd)
-	}
-}
-
-// forEachFanout invokes f for every data arc leaving pin p.
-func (t *Timer) forEachFanout(p netlist.PinID, f func(q netlist.PinID, d float64)) {
-	d := t.D
-	pin := &d.Pins[p]
-	if pin.Dir == netlist.DirOut {
-		if pin.Net == netlist.NoNet || d.Nets[pin.Net].IsClock {
-			return
-		}
-		for _, s := range d.Nets[pin.Net].Sinks {
-			if t.inData[s] {
-				f(s, t.M.SinkWireDelay(d, pin.Net, s))
-			}
-		}
-		return
-	}
-	cell := &d.Cells[pin.Cell]
-	if cell.Type.Kind != netlist.KindComb {
-		return // FF D pins and port inputs are endpoints
-	}
-	out := cell.Pins[len(cell.Pins)-1]
-	f(out, t.cellArcDelay(out))
-}
-
 // cellArcDelay returns the input→output delay of the cell owning output pin
 // out, under the current load of its output net.
 func (t *Timer) cellArcDelay(out netlist.PinID) float64 {
@@ -277,8 +246,19 @@ func (t *Timer) loadOf(n netlist.NetID) float64 {
 	return t.netLoad[n]
 }
 
-// levelize assigns topological levels to data pins (Kahn's algorithm) and
-// reports combinational cycles.
+// refreshNetLoads recomputes every stale net load serially, so subsequent
+// concurrent readers never touch the lazy cache.
+func (t *Timer) refreshNetLoads() {
+	for n := range t.netDirty {
+		if t.netDirty[n] {
+			t.netLoad[n] = t.M.NetLoad(t.D, netlist.NetID(n))
+			t.netDirty[n] = false
+		}
+	}
+}
+
+// levelize assigns topological levels to data pins (Kahn's algorithm over the
+// CSR arrays) and reports combinational cycles.
 func (t *Timer) levelize() error {
 	np := len(t.D.Pins)
 	indeg := make([]int32, np)
@@ -289,9 +269,7 @@ func (t *Timer) levelize() error {
 			continue
 		}
 		total++
-		t.forEachFanin(netlist.PinID(i), func(q netlist.PinID, _ float64) {
-			indeg[i]++
-		})
+		indeg[i] = t.bwdOff[i+1] - t.bwdOff[i]
 	}
 	queue := make([]netlist.PinID, 0, total)
 	for i := 0; i < np; i++ {
@@ -308,7 +286,8 @@ func (t *Timer) levelize() error {
 		if t.level[p] > t.maxLvl {
 			t.maxLvl = t.level[p]
 		}
-		t.forEachFanout(p, func(q netlist.PinID, _ float64) {
+		for _, a := range t.fanoutArcs(p) {
+			q := a.To
 			if l := t.level[p] + 1; l > t.level[q] {
 				t.level[q] = l
 			}
@@ -316,13 +295,26 @@ func (t *Timer) levelize() error {
 			if indeg[q] == 0 {
 				queue = append(queue, q)
 			}
-		})
+		}
 	}
 	if len(t.order) != total {
 		return fmt.Errorf("timing: combinational cycle detected (%d of %d pins levelized)", len(t.order), total)
 	}
 	return nil
 }
+
+// SetWorkers sets the worker-pool width used by incremental Update and the
+// batch extractors (n <= 0 means GOMAXPROCS). Results are bit-identical at
+// any width; 1 (the default) runs fully serial.
+func (t *Timer) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	t.workers = n
+}
+
+// Workers returns the current worker-pool width.
+func (t *Timer) Workers() int { return t.workers }
 
 // Latency returns the current effective clock latency of a flip-flop: the
 // physical clock-network arrival plus any predictive CSS latency.
@@ -346,7 +338,7 @@ func (t *Timer) SetExtraLatency(ff netlist.CellID, l float64) {
 		return
 	}
 	t.extraLat[i] = l
-	t.dirtyFFs[ff] = struct{}{}
+	t.markFFDirty(ff, i)
 }
 
 // AddExtraLatency increments the predictive CSS latency of a flip-flop.
@@ -356,18 +348,42 @@ func (t *Timer) AddExtraLatency(ff netlist.CellID, dl float64) {
 	}
 	i := t.ffIdx[ff]
 	t.extraLat[i] += dl
-	t.dirtyFFs[ff] = struct{}{}
+	t.markFFDirty(ff, i)
+}
+
+func (t *Timer) markFFDirty(ff netlist.CellID, i int32) {
+	if !t.ffDirtyMark[i] {
+		t.ffDirtyMark[i] = true
+		t.dirtyFFList = append(t.dirtyFFList, ff)
+	}
 }
 
 // DirtyCell informs the timer that a cell was moved or reconnected; delays
 // of its incident nets are re-derived at the next Update.
-func (t *Timer) DirtyCell(c netlist.CellID) { t.dirtyCell[c] = struct{}{} }
+func (t *Timer) DirtyCell(c netlist.CellID) {
+	if !t.cellDirtyMark[c] {
+		t.cellDirtyMark[c] = true
+		t.dirtyCellList = append(t.dirtyCellList, c)
+	}
+}
+
+// clearDirty resets both pending-change queues.
+func (t *Timer) clearDirty() {
+	for _, ff := range t.dirtyFFList {
+		t.ffDirtyMark[t.ffIdx[ff]] = false
+	}
+	t.dirtyFFList = t.dirtyFFList[:0]
+	for _, c := range t.dirtyCellList {
+		t.cellDirtyMark[c] = false
+	}
+	t.dirtyCellList = t.dirtyCellList[:0]
+}
 
 // recomputeClock evaluates the physical clock network and returns the FFs
 // whose base latency changed.
 func (t *Timer) recomputeClock() []netlist.CellID {
 	d := t.D
-	var changed []netlist.CellID
+	changed := t.clkChanged[:0]
 	if d.ClockRoot == netlist.NoCell {
 		return nil
 	}
@@ -410,6 +426,7 @@ func (t *Timer) recomputeClock() []netlist.CellID {
 			}
 		}
 	}
+	t.clkChanged = changed[:0]
 	return changed
 }
 
@@ -421,8 +438,7 @@ func (t *Timer) FullUpdate() {
 		t.netDirty[i] = true
 	}
 	t.recomputeClock()
-	t.dirtyFFs = map[netlist.CellID]struct{}{}
-	t.dirtyCell = map[netlist.CellID]struct{}{}
+	t.clearDirty()
 
 	for i := range t.atMax {
 		t.atMax[i] = math.Inf(-1)
@@ -482,14 +498,32 @@ func (t *Timer) evalArrival(p netlist.PinID) bool {
 		return changed
 	}
 	mx, mn := math.Inf(-1), math.Inf(1)
-	t.forEachFanin(p, func(q netlist.PinID, d float64) {
-		if v := t.atMax[q] + d*t.dLate; v > mx {
-			mx = v
+	if arcs := t.faninArcs(p); len(arcs) > 0 {
+		if arcs[0].Net == netlist.NoNet {
+			// Cell arcs share one delay: the owning cell's arc under the
+			// current output load.
+			cd := t.cellArcDelay(p)
+			dl, de := cd*t.dLate, cd*t.dEarly
+			for _, a := range arcs {
+				if v := t.atMax[a.To] + dl; v > mx {
+					mx = v
+				}
+				if v := t.atMin[a.To] + de; v < mn {
+					mn = v
+				}
+			}
+		} else {
+			for _, a := range arcs {
+				d := t.M.SinkWireDelay(t.D, a.Net, p)
+				if v := t.atMax[a.To] + d*t.dLate; v > mx {
+					mx = v
+				}
+				if v := t.atMin[a.To] + d*t.dEarly; v < mn {
+					mn = v
+				}
+			}
 		}
-		if v := t.atMin[q] + d*t.dEarly; v < mn {
-			mn = v
-		}
-	})
+	}
 	changed := !feq(t.atMax[p], mx) || !feq(t.atMin[p], mn)
 	t.atMax[p] = mx
 	t.atMin[p] = mn
@@ -525,14 +559,15 @@ func (t *Timer) evalRequired(p netlist.PinID) bool {
 		return changed
 	}
 	rl, re := math.Inf(1), math.Inf(-1)
-	t.forEachFanout(p, func(q netlist.PinID, d float64) {
-		if v := t.reqMax[q] - d*t.dLate; v < rl {
+	for _, a := range t.fanoutArcs(p) {
+		d := t.fanoutArcDelay(a)
+		if v := t.reqMax[a.To] - d*t.dLate; v < rl {
 			rl = v
 		}
-		if v := t.reqMin[q] - d*t.dEarly; v > re {
+		if v := t.reqMin[a.To] - d*t.dEarly; v > re {
 			re = v
 		}
-	})
+	}
 	changed := !feq(t.reqMax[p], rl) || !feq(t.reqMin[p], re)
 	t.reqMax[p] = rl
 	t.reqMin[p] = re
@@ -550,24 +585,28 @@ func feq(a, b float64) bool {
 // only the affected cones are re-propagated. It returns the number of pins
 // re-evaluated.
 func (t *Timer) Update() int {
-	if len(t.dirtyCell) > 0 {
+	if len(t.dirtyCellList) > 0 {
 		// Structural/positional change: refresh loads of incident nets and
 		// the clock network, then seed affected data pins.
-		seen := map[netlist.NetID]struct{}{}
-		for c := range t.dirtyCell {
+		t.netSeenList = t.netSeenList[:0]
+		for _, c := range t.dirtyCellList {
+			t.cellDirtyMark[c] = false
 			for _, p := range t.D.Cells[c].Pins {
-				if n := t.D.Pins[p].Net; n != netlist.NoNet {
-					seen[n] = struct{}{}
+				if n := t.D.Pins[p].Net; n != netlist.NoNet && !t.netSeen[n] {
+					t.netSeen[n] = true
+					t.netSeenList = append(t.netSeenList, n)
 				}
 			}
 		}
-		for n := range seen {
+		t.dirtyCellList = t.dirtyCellList[:0]
+		for _, n := range t.netSeenList {
 			t.netDirty[n] = true
 		}
 		for _, ff := range t.recomputeClock() {
-			t.dirtyFFs[ff] = struct{}{}
+			t.markFFDirty(ff, t.ffIdx[ff])
 		}
-		for n := range seen {
+		for _, n := range t.netSeenList {
+			t.netSeen[n] = false
 			if t.D.Nets[n].IsClock {
 				continue
 			}
@@ -594,9 +633,9 @@ func (t *Timer) Update() int {
 				}
 			}
 		}
-		t.dirtyCell = map[netlist.CellID]struct{}{}
 	}
-	for ff := range t.dirtyFFs {
+	for _, ff := range t.dirtyFFList {
+		t.ffDirtyMark[t.ffIdx[ff]] = false
 		q := t.D.FFQ(ff)
 		if t.inData[q] {
 			t.seedFwd(q)
@@ -606,8 +645,12 @@ func (t *Timer) Update() int {
 			t.seedBwd(dpin)
 		}
 	}
-	t.dirtyFFs = map[netlist.CellID]struct{}{}
+	t.dirtyFFList = t.dirtyFFList[:0]
 
+	if t.workers > 1 {
+		// Workers must never touch the lazy load cache concurrently.
+		t.refreshNetLoads()
+	}
 	visited := t.runForward() + t.runBackward()
 	return visited
 }
@@ -629,22 +672,64 @@ func (t *Timer) seedBwd(p netlist.PinID) {
 	t.bwdBuckets[t.level[p]] = append(t.bwdBuckets[t.level[p]], p)
 }
 
+// parallelBucketMin is the minimum level-bucket size worth fanning out to
+// the worker pool (matches FullUpdateParallel's threshold).
+const parallelBucketMin = 64
+
+// changedScratch returns the reusable per-bucket changed-flag scratch,
+// sized to n.
+func (t *Timer) changedScratch(n int) []bool {
+	if cap(t.changedBuf) < n {
+		t.changedBuf = make([]bool, n)
+	}
+	return t.changedBuf[:n]
+}
+
+// runForward drains the forward worklist level by level. A pin's fanout is
+// strictly deeper than the pin itself, so seeding never mutates the bucket
+// being drained, and pins within one level are independent: large buckets
+// are evaluated by the worker pool first, then traversed serially in bucket
+// order to seed — exactly the serial visit/seed order, hence bit-identical
+// results at any worker count.
+//
+// Arrival changes shift endpoint slacks only; required times change only at
+// endpoints via latency, which is seeded separately — so the forward pass
+// never seeds the backward worklist.
 func (t *Timer) runForward() int {
 	visited := 0
 	for lvl := int32(0); lvl <= t.maxLvl; lvl++ {
 		bucket := t.fwdBuckets[lvl]
 		t.fwdBuckets[lvl] = bucket[:0]
+		if len(bucket) == 0 {
+			continue
+		}
+		if t.workers > 1 && len(bucket) >= parallelBucketMin {
+			changed := t.changedScratch(len(bucket))
+			chunked(t.workers, len(bucket), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					changed[i] = t.evalArrival(bucket[i])
+				}
+			})
+			for i, p := range bucket {
+				t.inFwd[p] = false
+				visited++
+				t.Stats.ForwardPinVisits++
+				if changed[i] {
+					for _, a := range t.fanoutArcs(p) {
+						t.seedFwd(a.To)
+					}
+				}
+			}
+			continue
+		}
 		for _, p := range bucket {
 			t.inFwd[p] = false
 			visited++
 			t.Stats.ForwardPinVisits++
 			if t.evalArrival(p) {
-				t.forEachFanout(p, func(q netlist.PinID, _ float64) {
-					t.seedFwd(q)
-					// Arrival changes shift endpoint slacks only; required
-					// times change only at endpoints via latency, which is
-					// seeded separately.
-				})
+				for _, a := range t.fanoutArcs(p) {
+					t.seedFwd(a.To)
+				}
 			}
 		}
 	}
@@ -656,14 +741,36 @@ func (t *Timer) runBackward() int {
 	for lvl := t.maxLvl; lvl >= 0; lvl-- {
 		bucket := t.bwdBuckets[lvl]
 		t.bwdBuckets[lvl] = bucket[:0]
+		if len(bucket) == 0 {
+			continue
+		}
+		if t.workers > 1 && len(bucket) >= parallelBucketMin {
+			changed := t.changedScratch(len(bucket))
+			chunked(t.workers, len(bucket), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					changed[i] = t.evalRequired(bucket[i])
+				}
+			})
+			for i, p := range bucket {
+				t.inBwd[p] = false
+				visited++
+				t.Stats.BackwardPinVisits++
+				if changed[i] {
+					for _, a := range t.faninArcs(p) {
+						t.seedBwd(a.To)
+					}
+				}
+			}
+			continue
+		}
 		for _, p := range bucket {
 			t.inBwd[p] = false
 			visited++
 			t.Stats.BackwardPinVisits++
 			if t.evalRequired(p) {
-				t.forEachFanin(p, func(q netlist.PinID, _ float64) {
-					t.seedBwd(q)
-				})
+				for _, a := range t.faninArcs(p) {
+					t.seedBwd(a.To)
+				}
 			}
 		}
 	}

@@ -1,0 +1,92 @@
+// Microbenchmarks for the flat-kernel fast path: CSR propagation, the
+// parallel batch extractor, and the allocation-lean incremental Update.
+// All report allocs/op so benchstat can track both time and GC pressure
+// PR-over-PR.
+package iterskew_test
+
+import (
+	"fmt"
+	"testing"
+
+	"iterskew/internal/delay"
+	"iterskew/internal/timing"
+)
+
+// perfScale is the mid-size profile the hot-path benchmarks run on.
+const perfScale = 0.02
+
+func perfTimer(b *testing.B) *timing.Timer {
+	b.Helper()
+	d := genDesign(b, "superblue18", perfScale)
+	tm, err := timing.New(d, delay.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tm
+}
+
+func BenchmarkExtractEssentialBatch(b *testing.B) {
+	tm := perfTimer(b)
+	viol := tm.ViolatedEndpoints(timing.Late, nil)
+	if len(viol) == 0 {
+		b.Skip("no violations")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var buf []timing.SeqEdge
+			for i := 0; i < b.N; i++ {
+				buf = tm.ExtractEssentialBatch(viol, timing.Late, 0, workers, buf[:0])
+			}
+			b.ReportMetric(float64(len(viol)), "endpoints")
+			b.ReportMetric(float64(len(buf)), "edges")
+		})
+	}
+}
+
+func BenchmarkExtractAllFromBatch(b *testing.B) {
+	tm := perfTimer(b)
+	ffs := tm.D.FFs
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var buf []timing.SeqEdge
+			for i := 0; i < b.N; i++ {
+				buf = tm.ExtractAllFromBatch(ffs, timing.Late, workers, buf[:0])
+			}
+			b.ReportMetric(float64(len(buf)), "edges")
+		})
+	}
+}
+
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			tm := perfTimer(b)
+			tm.SetWorkers(workers)
+			ffs := tm.D.FFs
+			b.ReportAllocs()
+			b.ResetTimer()
+			pins := 0
+			for i := 0; i < b.N; i++ {
+				// Rotate a 20% slice of the flip-flops each iteration so the
+				// dirty cones stay realistic for a CSS round.
+				for j := i % 5; j < len(ffs); j += 5 {
+					tm.SetExtraLatency(ffs[j], float64((i+j)%23))
+				}
+				pins += tm.Update()
+			}
+			b.ReportMetric(float64(pins)/float64(b.N), "pins/op")
+		})
+	}
+}
+
+func BenchmarkCSRPropagation(b *testing.B) {
+	tm := perfTimer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.FullUpdate()
+	}
+	b.ReportMetric(float64(len(tm.D.Pins)), "pins")
+}
