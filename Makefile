@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench fuzz-smoke oracle-check
 
-ci: vet build test race
+ci: vet build test race fuzz-smoke oracle-check
 
 vet:
 	$(GO) vet ./...
@@ -20,3 +20,15 @@ race:
 
 bench:
 	$(GO) test -bench 'ExtractEssentialBatch|IncrementalUpdate|CSRPropagation' -benchmem .
+
+# Short coverage-guided runs of both fuzz targets: every scheduler and every
+# extraction primitive over mutated generator seeds. Any panic, invariant
+# violation or unexplained optimality gap fails the run.
+fuzz-smoke:
+	$(GO) test ./internal/fuzz -run '^$$' -fuzz '^FuzzSchedule$$' -fuzztime 30s
+	$(GO) test ./internal/fuzz -run '^$$' -fuzz '^FuzzExtract$$' -fuzztime 30s
+
+# The differential acceptance sweep: 1000 seeded adversarial netlists, each
+# schedule checked against the independent LP oracle.
+oracle-check:
+	ORACLE_FUZZ_N=1000 $(GO) test ./internal/fuzz -run '^TestOracleAgreement$$' -v

@@ -64,7 +64,7 @@ func TestPublicAPIManualDesign(t *testing.T) {
 		t.Fatal("expected a hold violation")
 	}
 
-	res := iterskew.ScheduleSkew(tm, iterskew.ScheduleOptions{Mode: iterskew.Early})
+	res := mustScheduleSkew(t, tm, iterskew.ScheduleOptions{Mode: iterskew.Early})
 	mid := iterskew.Measure(tm)
 	if mid.WNSEarly < -1e-6 {
 		t.Errorf("CSS did not clear the hold violation predictively: %v", mid.WNSEarly)
@@ -99,7 +99,7 @@ func TestBaselineFacades(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	icRes := iterskew.ScheduleICCSS(tm1, iterskew.ICCSSOptions{Mode: iterskew.Early})
+	icRes := mustScheduleICCSS(t, tm1, iterskew.ICCSSOptions{Mode: iterskew.Early})
 	if icRes.EdgesExtracted == 0 {
 		t.Error("IC-CSS+ extracted nothing")
 	}

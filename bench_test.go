@@ -108,7 +108,7 @@ func BenchmarkExtraction_EssentialCSS(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		res := core.Schedule(tm, core.Options{Mode: timing.Late})
+		res := mustCoreSchedule(b, tm, core.Options{Mode: timing.Late})
 		edges = res.EdgesExtracted
 	}
 	b.ReportMetric(float64(edges), "edges")
@@ -127,7 +127,7 @@ func BenchmarkExtraction_ICCSS(b *testing.B) {
 		}
 		e0 := tm.Stats.ExtractedEdges
 		b.StartTimer()
-		iterskew.ScheduleICCSS(tm, iterskew.ICCSSOptions{Mode: timing.Late})
+		mustScheduleICCSS(b, tm, iterskew.ICCSSOptions{Mode: timing.Late})
 		edges = tm.Stats.ExtractedEdges - e0
 	}
 	b.ReportMetric(float64(edges), "edges")
@@ -165,7 +165,7 @@ func benchComplexity(b *testing.B, scale float64) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		res := core.Schedule(tm, core.Options{Mode: timing.Late})
+		res := mustCoreSchedule(b, tm, core.Options{Mode: timing.Late})
 		rounds, edges = res.Rounds, res.EdgesExtracted
 	}
 	b.ReportMetric(float64(rounds), "k")
@@ -200,7 +200,7 @@ func BenchmarkAblation_Headroom(b *testing.B) {
 				}
 				e0, _ := tm.WNSTNS(timing.Early)
 				b.StartTimer()
-				core.Schedule(tm, core.Options{Mode: timing.Late, DisableHeadroom: disable.on})
+				mustCoreSchedule(b, tm, core.Options{Mode: timing.Late, DisableHeadroom: disable.on})
 				b.StopTimer()
 				e1, _ := tm.WNSTNS(timing.Early)
 				dmg = math.Min(0, e1-math.Min(e0, 0))

@@ -1,9 +1,11 @@
 // Command netgen generates a synthetic benchmark and either prints its
 // statistics or writes it to a netlist file in the library's text format
-// (see internal/netio).
+// (see internal/netio). The generators themselves live in internal/fuzz;
+// this command is a thin front end.
 //
 //	go run ./cmd/netgen -design superblue18 -scale 0.01 -out sb18.net
 //	go run ./cmd/netgen -ffs 500 -seed 7 -stats
+//	go run ./cmd/netgen -topo holdheavy -ffs 24 -seed 3
 package main
 
 import (
@@ -12,33 +14,33 @@ import (
 	"os"
 
 	"iterskew"
-	"iterskew/internal/bench"
+	"iterskew/internal/fuzz"
 	"iterskew/internal/netio"
+	"iterskew/internal/netlist"
 	"iterskew/internal/viz"
 )
 
 func main() {
 	design := flag.String("design", "", "superblue profile name (empty: custom profile from -ffs)")
+	topo := flag.String("topo", "", "adversarial fuzz topology: ring, reconvergent, holdheavy, islands, singleloop, mixed (overrides -design)")
 	scale := flag.Float64("scale", 0.01, "linear shrink for superblue profiles")
-	ffs := flag.Int("ffs", 1000, "flip-flop count for custom profiles")
-	seed := flag.Int64("seed", 1, "generator seed for custom profiles")
+	ffs := flag.Int("ffs", 1000, "flip-flop count")
+	ports := flag.Int("ports", 0, "primary port pairs for fuzz topologies")
+	seed := flag.Int64("seed", 1, "generator seed")
 	out := flag.String("out", "", "output netlist file (empty: stats only)")
 	svg := flag.String("svg", "", "also render an SVG view to this file")
 	flag.Parse()
 
-	var p iterskew.Profile
+	var d *netlist.Design
 	var err error
-	if *design != "" {
-		p, err = iterskew.SuperblueProfile(*design, *scale)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	if *topo != "" {
+		var t fuzz.Topology
+		if t, err = fuzz.ParseTopology(*topo); err == nil {
+			d, err = fuzz.Generate(fuzz.Config{Topology: t, FFs: *ffs, Ports: *ports, Seed: *seed})
 		}
 	} else {
-		p = bench.Profile{Name: fmt.Sprintf("custom-%d", *ffs), FFs: *ffs, Seed: *seed}
+		d, err = fuzz.BenchDesign(*design, *scale, *ffs, *seed)
 	}
-
-	d, err := iterskew.GenerateBenchmark(p)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -42,7 +42,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := iterskew.ScheduleSkew(tm, iterskew.ScheduleOptions{Mode: iterskew.Late})
+		res, err := iterskew.ScheduleSkew(tm, iterskew.ScheduleOptions{Mode: iterskew.Late})
+		if err != nil {
+			log.Fatal(err)
+		}
 		realize(tm, res.Target)
 		m := iterskew.Measure(tm)
 		results = append(results, outcome{name, m.TNSLate, m.WNSLate,
@@ -72,7 +75,10 @@ func main() {
 	// Timing-report tour on the final (CTS-guided) design.
 	d := input.Clone()
 	tm, _ := iterskew.NewTimer(d)
-	res := iterskew.ScheduleSkew(tm, iterskew.ScheduleOptions{Mode: iterskew.Late})
+	res, err := iterskew.ScheduleSkew(tm, iterskew.ScheduleOptions{Mode: iterskew.Late})
+	if err != nil {
+		log.Fatal(err)
+	}
 	iterskew.GuideClockTree(tm, res.Target, iterskew.CTSOptions{})
 
 	fmt.Println("\nWorst remaining late path:")

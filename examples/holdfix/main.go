@@ -56,7 +56,10 @@ func main() {
 		tm.Latency(ffA), tm.Latency(ffB), tm.Latency(ffB)-tm.Latency(ffA))
 
 	// Step 1: the paper's iterative CSS, early mode.
-	res := iterskew.ScheduleSkew(tm, iterskew.ScheduleOptions{Mode: iterskew.Early})
+	res, err := iterskew.ScheduleSkew(tm, iterskew.ScheduleOptions{Mode: iterskew.Early})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nafter CSS (predictive):", iterskew.Measure(tm))
 	for ff, l := range res.Target {
 		fmt.Printf("  target latency for %s: +%.1f ps\n", d.Cells[ff].Name, l)

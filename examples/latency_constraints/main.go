@@ -40,7 +40,10 @@ func main() {
 			opts.LatencyUB = func(iterskew.CellID) float64 { return b }
 			label = fmt.Sprintf("%.0f", b)
 		}
-		res := iterskew.ScheduleSkew(tm, opts)
+		res, err := iterskew.ScheduleSkew(tm, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
 
 		maxL := 0.0
 		for _, l := range res.Target {

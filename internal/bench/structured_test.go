@@ -31,7 +31,7 @@ func TestRingPipelineCycleLimited(t *testing.T) {
 	// and are never extracted, so no cycle closes). The §V "violation
 	// amplification" — a positive extraction margin — pulls the whole ring
 	// in and lets the cycle handler snap it to the bound.
-	res := core.Schedule(tm, core.Options{Mode: timing.Late, Margin: 60})
+	res := mustCoreSchedule(t, tm, core.Options{Mode: timing.Late, Margin: 60})
 	if res.Cycles == 0 {
 		t.Error("ring scheduling found no cycle (margin should close it)")
 	}

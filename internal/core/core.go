@@ -20,6 +20,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -29,6 +30,52 @@ import (
 )
 
 const eps = 1e-6
+
+// DegenerateInputError reports an input the schedulers cannot meaningfully
+// process: no sequential elements to skew, a non-positive clock period, or a
+// flip-flop whose Q output drives its own D input directly (a zero-stage
+// self-loop whose slack no latency assignment can move — raising the
+// flip-flop shifts launch and capture together).
+type DegenerateInputError struct {
+	Reason string
+	Cell   netlist.CellID // offending cell, netlist.NoCell for design-wide problems
+}
+
+// Error implements the error interface.
+func (e *DegenerateInputError) Error() string {
+	if e.Cell == netlist.NoCell {
+		return "css: degenerate input: " + e.Reason
+	}
+	return fmt.Sprintf("css: degenerate input: %s (cell %d)", e.Reason, e.Cell)
+}
+
+// ValidateInput checks a design for the degenerate shapes that make clock
+// skew scheduling meaningless, returning a *DegenerateInputError describing
+// the first one found. Schedule and iccss.Schedule call it on entry.
+func ValidateInput(d *netlist.Design) error {
+	if !(d.Period > 0) { // also rejects NaN
+		return &DegenerateInputError{
+			Reason: fmt.Sprintf("non-positive clock period %v", d.Period),
+			Cell:   netlist.NoCell,
+		}
+	}
+	if len(d.FFs) == 0 {
+		return &DegenerateInputError{Reason: "no flip-flops to schedule", Cell: netlist.NoCell}
+	}
+	for _, ff := range d.FFs {
+		n := d.Pins[d.FFQ(ff)].Net
+		if n == netlist.NoNet {
+			continue
+		}
+		dp := d.FFData(ff)
+		for _, s := range d.Nets[n].Sinks {
+			if s == dp {
+				return &DegenerateInputError{Reason: "flip-flop Q drives its own D directly", Cell: ff}
+			}
+		}
+	}
+	return nil
+}
 
 // Options configures one scheduling run.
 type Options struct {
@@ -75,6 +122,19 @@ type IterStats struct {
 	TimerPins int     // pins re-propagated by the incremental update
 }
 
+// CycleFix records one Eq-9 cycle assignment: the cycle's vertices in cycle
+// order, value copies of its sequential edges at freeze time (Edges[i] runs
+// Cells[i]→Cells[i+1]; the last closes back to Cells[0]), and the mean weight
+// every edge's slack is balanced to. Cycle vertices are frozen when the fix
+// is applied and never raised again, so the invariant "each recorded edge's
+// slack equals Mean" must hold at the end of the run — internal/oracle
+// checks exactly that.
+type CycleFix struct {
+	Cells []netlist.CellID
+	Edges []timing.SeqEdge
+	Mean  float64
+}
+
 // Result is the outcome of a Schedule run.
 type Result struct {
 	// Target holds the scheduled latency l* per flip-flop (only entries > 0).
@@ -84,6 +144,9 @@ type Result struct {
 	Rounds int
 	// Cycles is the number of cycles encountered and fixed.
 	Cycles int
+	// CycleFixes records every Eq-9 mean-weight assignment, for the
+	// invariant checker.
+	CycleFixes []CycleFix
 	// EdgesExtracted is the number of sequential edges added to the partial
 	// graph (after dedup).
 	EdgesExtracted int
@@ -105,9 +168,13 @@ func isPortCell(d *netlist.Design, c netlist.CellID) bool {
 // Schedule runs Alg 1 on the timer's design and returns the target
 // latencies. The computed latencies are left applied on the timer as
 // predictive (extra) latencies; callers that only want the schedule can
-// remove them afterwards.
-func Schedule(tm *timing.Timer, opts Options) *Result {
+// remove them afterwards. Degenerate designs (see ValidateInput) return a
+// *DegenerateInputError with no latencies applied.
+func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 	start := time.Now()
+	if err := ValidateInput(tm.D); err != nil {
+		return nil, err
+	}
 	if opts.MaxRounds == 0 {
 		opts.MaxRounds = 200
 	}
@@ -221,6 +288,18 @@ func Schedule(tm *timing.Timer, opts Options) *Result {
 			res.Cycles++
 			st.CycleLen = len(cyc.Vertices)
 			tMean := cyc.MeanWeight(w)
+			fix := CycleFix{
+				Cells: make([]netlist.CellID, len(cyc.Vertices)),
+				Edges: make([]timing.SeqEdge, len(cyc.Edges)),
+				Mean:  tMean,
+			}
+			for i, v := range cyc.Vertices {
+				fix.Cells[i] = g.Cells[v]
+			}
+			for i, eid := range cyc.Edges {
+				fix.Edges[i] = g.Edges[eid].Seq
+			}
+			res.CycleFixes = append(res.CycleFixes, fix)
 			lat := make([]float64, len(cyc.Vertices))
 			alpha := 0.0
 			minL := 0.0
@@ -313,7 +392,7 @@ func Schedule(tm *timing.Timer, opts Options) *Result {
 
 	res.EdgesExtracted = len(g.Edges)
 	res.Elapsed = time.Since(start)
-	return res
+	return res, nil
 }
 
 // activeCycleEdges restricts cycle detection to essential edges between

@@ -66,7 +66,7 @@ func TestScheduleLexicographicObjective(t *testing.T) {
 		before := slackSequence(tm)
 		hadViolation := len(before) > 0 && before[0] < -1e-6
 
-		Schedule(tm, Options{Mode: timing.Late})
+		mustSchedule(t, tm, Options{Mode: timing.Late})
 		after := slackSequence(tm)
 
 		if len(after) != len(before) {
@@ -89,7 +89,7 @@ func TestCycleHandlingLexicographic(t *testing.T) {
 	d, _, _ := buildRing(t, 352, 30, 20)
 	tm := newTimer(t, d)
 	before := slackSequence(tm)
-	Schedule(tm, Options{Mode: timing.Late})
+	mustSchedule(t, tm, Options{Mode: timing.Late})
 	after := slackSequence(tm)
 	if lexCompare(after, before) < -1e-6 {
 		t.Error("ring handling regressed the slack sequence")

@@ -45,7 +45,10 @@ func MinPeriod(d *netlist.Design, lo, hi, tol float64) (*MinPeriodResult, error)
 		if err != nil {
 			return nil, false, err
 		}
-		r := Schedule(tm, Options{Mode: timing.Late})
+		r, err := Schedule(tm, Options{Mode: timing.Late})
+		if err != nil {
+			return nil, false, err
+		}
 		wns, _ := tm.WNSTNS(timing.Late)
 		return r, wns >= -1e-6, nil
 	}

@@ -45,7 +45,7 @@ func TestMinPeriodChain(t *testing.T) {
 	d2 := c.d.Clone()
 	d2.Period = res.Period
 	tm2 := newTimer(t, d2)
-	Schedule(tm2, Options{Mode: timing.Late})
+	mustSchedule(t, tm2, Options{Mode: timing.Late})
 	if wns, _ := tm2.WNSTNS(timing.Late); wns < -1e-6 {
 		t.Errorf("returned period not schedulable: %v", wns)
 	}

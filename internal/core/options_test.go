@@ -18,7 +18,7 @@ func TestDisableHeadroomCreatesEarlyViolations(t *testing.T) {
 	// unbalanced chain; with the bound the early WNS stays clean.
 	c1 := buildChain(t, 300, []int{20, 2})
 	tm1 := newTimer(t, c1.d)
-	Schedule(tm1, Options{Mode: timing.Late})
+	mustSchedule(t, tm1, Options{Mode: timing.Late})
 	e1, _ := tm1.WNSTNS(timing.Early)
 	if e1 < -1e-6 {
 		t.Errorf("with headroom: early WNS %v", e1)
@@ -29,7 +29,7 @@ func TestDisableHeadroomCreatesEarlyViolations(t *testing.T) {
 	// option plumbs through: the schedule must be at least as aggressive.
 	c2 := buildChain(t, 300, []int{20, 2})
 	tm2 := newTimer(t, c2.d)
-	res2 := Schedule(tm2, Options{Mode: timing.Late, DisableHeadroom: true})
+	res2 := mustSchedule(t, tm2, Options{Mode: timing.Late, DisableHeadroom: true})
 	l2, _ := tm2.WNSTNS(timing.Late)
 	if l2 < -1e-6 {
 		t.Errorf("without headroom the late fix regressed: %v", l2)
@@ -47,12 +47,12 @@ func TestMarginExtractsNearCritical(t *testing.T) {
 	if wns, _ := tm.WNSTNS(timing.Late); wns < 0 {
 		t.Fatal("fixture should be clean")
 	}
-	res0 := Schedule(tm, Options{Mode: timing.Late})
+	res0 := mustSchedule(t, tm, Options{Mode: timing.Late})
 	if res0.EdgesExtracted != 0 {
 		t.Fatalf("clean design extracted %d edges without margin", res0.EdgesExtracted)
 	}
 	// A margin wider than every stage slack pulls the whole graph in.
-	res1 := Schedule(tm, Options{Mode: timing.Late, Margin: 1e6})
+	res1 := mustSchedule(t, tm, Options{Mode: timing.Late, Margin: 1e6})
 	if res1.EdgesExtracted == 0 {
 		t.Error("margin extraction found nothing")
 	}
@@ -69,11 +69,11 @@ func TestMarginExtractsNearCritical(t *testing.T) {
 func TestStallGuardBounds(t *testing.T) {
 	c1 := buildChain(t, 300, []int{20, 2, 15, 3})
 	tm1 := newTimer(t, c1.d)
-	resTight := Schedule(tm1, Options{Mode: timing.Late, StallRounds: 1})
+	resTight := mustSchedule(t, tm1, Options{Mode: timing.Late, StallRounds: 1})
 
 	c2 := buildChain(t, 300, []int{20, 2, 15, 3})
 	tm2 := newTimer(t, c2.d)
-	resLoose := Schedule(tm2, Options{Mode: timing.Late, StallRounds: -1, MaxRounds: 40})
+	resLoose := mustSchedule(t, tm2, Options{Mode: timing.Late, StallRounds: -1, MaxRounds: 40})
 
 	if resTight.Rounds > resLoose.Rounds {
 		t.Errorf("tight stall guard ran longer (%d) than disabled guard (%d)",
@@ -92,7 +92,7 @@ func TestStallGuardBounds(t *testing.T) {
 func TestNegativeMeanCycleIntegration(t *testing.T) {
 	d, ffA, ffB := buildRing(t, 352, 30, 20)
 	tm := newTimer(t, d)
-	res := Schedule(tm, Options{Mode: timing.Late})
+	res := mustSchedule(t, tm, Options{Mode: timing.Late})
 	if res.Cycles == 0 {
 		t.Fatal("ring cycle not handled")
 	}
@@ -110,7 +110,7 @@ func TestLatencyLowerBound(t *testing.T) {
 	c := buildChain(t, 300, []int{20, 2})
 	tm := newTimer(t, c.d)
 	forced := c.ffs[0]
-	res := Schedule(tm, Options{
+	res := mustSchedule(t, tm, Options{
 		Mode: timing.Late,
 		LatencyLB: func(ff netlist.CellID) float64 {
 			if ff == forced {
@@ -137,9 +137,9 @@ func TestLatencyLowerBound(t *testing.T) {
 func TestScheduleTwiceIsStable(t *testing.T) {
 	c := buildChain(t, 300, []int{20, 2})
 	tm := newTimer(t, c.d)
-	Schedule(tm, Options{Mode: timing.Late})
+	mustSchedule(t, tm, Options{Mode: timing.Late})
 	w1, t1 := tm.WNSTNS(timing.Late)
-	res2 := Schedule(tm, Options{Mode: timing.Late})
+	res2 := mustSchedule(t, tm, Options{Mode: timing.Late})
 	w2, t2 := tm.WNSTNS(timing.Late)
 	if w1 != w2 || t1 != t2 {
 		t.Errorf("second run changed timing: %v/%v -> %v/%v", w1, t1, w2, t2)

@@ -135,7 +135,7 @@ func TestLateFixUnbalancedPipeline(t *testing.T) {
 		t.Fatalf("fixture has unexpected early violation: %v", wnsE0)
 	}
 
-	res := Schedule(tm, Options{Mode: timing.Late})
+	res := mustSchedule(t, tm, Options{Mode: timing.Late})
 
 	wnsL1, tnsL1 := tm.WNSTNS(timing.Late)
 	wnsE1, _ := tm.WNSTNS(timing.Early)
@@ -179,7 +179,7 @@ func TestCycleBound(t *testing.T) {
 	}
 	mean := (s1 + s2) / 2
 
-	res := Schedule(tm, Options{Mode: timing.Late})
+	res := mustSchedule(t, tm, Options{Mode: timing.Late})
 	if res.Cycles == 0 {
 		t.Error("no cycle detected on a ring")
 	}
@@ -229,7 +229,7 @@ func TestEarlyFixWithSkewedLCBs(t *testing.T) {
 		t.Fatalf("unexpected late violation: %v", wnsL0)
 	}
 
-	res := Schedule(tm, Options{Mode: timing.Early})
+	res := mustSchedule(t, tm, Options{Mode: timing.Early})
 
 	wnsE1, _ := tm.WNSTNS(timing.Early)
 	wnsL1, _ := tm.WNSTNS(timing.Late)
@@ -254,7 +254,7 @@ func TestLatencyUpperBound(t *testing.T) {
 	wns0, _ := tm.WNSTNS(timing.Late)
 
 	const ub = 10.0
-	res := Schedule(tm, Options{
+	res := mustSchedule(t, tm, Options{
 		Mode:      timing.Late,
 		LatencyUB: func(netlist.CellID) float64 { return ub },
 	})
@@ -278,7 +278,7 @@ func TestScheduleIdempotentWhenClean(t *testing.T) {
 	if wns, _ := tm.WNSTNS(timing.Late); wns < 0 {
 		t.Fatalf("fixture not clean: %v", wns)
 	}
-	res := Schedule(tm, Options{Mode: timing.Late})
+	res := mustSchedule(t, tm, Options{Mode: timing.Late})
 	if len(res.Target) != 0 {
 		t.Errorf("clean design got latencies: %+v", res.Target)
 	}
@@ -297,7 +297,7 @@ func TestLongPipelineChainPropagation(t *testing.T) {
 	if wns0 >= 0 {
 		t.Fatal("no violation")
 	}
-	res := Schedule(tm, Options{Mode: timing.Late})
+	res := mustSchedule(t, tm, Options{Mode: timing.Late})
 	wns1, tns1 := tm.WNSTNS(timing.Late)
 	if wns1 < wns0+1 {
 		t.Errorf("no WNS improvement: %v -> %v", wns0, wns1)
@@ -335,13 +335,13 @@ func TestRandomizedNoOppositeViolations(t *testing.T) {
 		c := buildChain(t, period, stages)
 		tm := newTimer(t, c.d)
 		wnsE0, _ := tm.WNSTNS(timing.Early)
-		Schedule(tm, Options{Mode: timing.Late})
+		mustSchedule(t, tm, Options{Mode: timing.Late})
 		wnsE1, _ := tm.WNSTNS(timing.Early)
 		if wnsE1 < math.Min(wnsE0, 0)-1e-6 {
 			t.Errorf("seed %d: early WNS degraded below zero: %v -> %v", seed, wnsE0, wnsE1)
 		}
 		wnsL1, _ := tm.WNSTNS(timing.Late)
-		Schedule(tm, Options{Mode: timing.Early})
+		mustSchedule(t, tm, Options{Mode: timing.Early})
 		wnsL2, _ := tm.WNSTNS(timing.Late)
 		if wnsL2 < math.Min(wnsL1, 0)-1e-6 {
 			t.Errorf("seed %d: late WNS degraded below zero: %v -> %v", seed, wnsL1, wnsL2)
@@ -355,7 +355,7 @@ func TestPerIterTrajectoryMonotoneTNS(t *testing.T) {
 	c := buildChain(t, 300, []int{20, 2, 15, 3})
 	tm := newTimer(t, c.d)
 	_, tns0 := tm.WNSTNS(timing.Late)
-	res := Schedule(tm, Options{Mode: timing.Late})
+	res := mustSchedule(t, tm, Options{Mode: timing.Late})
 	prev := tns0
 	for _, it := range res.PerIter {
 		if it.TNS < prev-1e-6 {

@@ -39,7 +39,7 @@ func TestGuideTreeRealizesSchedule(t *testing.T) {
 		t.Fatal("no late violations")
 	}
 
-	res := core.Schedule(tm, core.Options{Mode: timing.Late})
+	res := mustCoreSchedule(t, tm, core.Options{Mode: timing.Late})
 	if len(res.Target) == 0 {
 		t.Fatal("no targets scheduled")
 	}
@@ -102,8 +102,8 @@ func TestGuideTreeVsECO(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resA := core.Schedule(tmA, core.Options{Mode: timing.Late})
-	resB := core.Schedule(tmB, core.Options{Mode: timing.Late})
+	resA := mustCoreSchedule(t, tmA, core.Options{Mode: timing.Late})
+	resB := mustCoreSchedule(t, tmB, core.Options{Mode: timing.Late})
 
 	g := GuideTree(tmA, resA.Target, Options{})
 	_, tnsCTS := tmA.WNSTNS(timing.Late)

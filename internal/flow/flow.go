@@ -133,11 +133,17 @@ func Run(input *netlist.Design, cfg Config) (*Report, error) {
 		// optimization (hence its ≈0 HPWL impact in Table I).
 
 	case OursEarly:
-		runStage(tm, rep, cfg, timing.Early, "early")
+		if err := runStage(tm, rep, cfg, timing.Early, "early"); err != nil {
+			return nil, err
+		}
 
 	case Ours, ICCSSPlus:
-		runStage(tm, rep, cfg, timing.Early, "early")
-		runStage(tm, rep, cfg, timing.Late, "late")
+		if err := runStage(tm, rep, cfg, timing.Early, "early"); err != nil {
+			return nil, err
+		}
+		if err := runStage(tm, rep, cfg, timing.Late, "late"); err != nil {
+			return nil, err
+		}
 		if cfg.EnableSizing {
 			t0 := time.Now()
 			opt.ResizeCells(tm, cfg.Resize)
@@ -160,16 +166,22 @@ func Run(input *netlist.Design, cfg Config) (*Report, error) {
 
 // runStage performs one CSS stage plus its physical realization, timing the
 // two parts separately and recording the trajectory.
-func runStage(tm *timing.Timer, rep *Report, cfg Config, mode timing.Mode, phase string) {
+func runStage(tm *timing.Timer, rep *Report, cfg Config, mode timing.Mode, phase string) error {
 	t0 := time.Now()
 	var targets map[netlist.CellID]float64
 	switch cfg.Method {
 	case ICCSSPlus:
-		res := iccss.Schedule(tm, iccss.Options{Mode: mode, MaxRounds: cfg.MaxRounds, Workers: cfg.Workers})
+		res, err := iccss.Schedule(tm, iccss.Options{Mode: mode, MaxRounds: cfg.MaxRounds, Workers: cfg.Workers})
+		if err != nil {
+			return err
+		}
 		rep.Rounds += res.Rounds
 		targets = res.Target
 	default:
-		res := core.Schedule(tm, core.Options{Mode: mode, MaxRounds: cfg.MaxRounds, Margin: cfg.Margin, Workers: cfg.Workers})
+		res, err := core.Schedule(tm, core.Options{Mode: mode, MaxRounds: cfg.MaxRounds, Margin: cfg.Margin, Workers: cfg.Workers})
+		if err != nil {
+			return err
+		}
 		rep.Rounds += res.Rounds
 		targets = res.Target
 		for _, it := range res.PerIter {
@@ -181,6 +193,7 @@ func runStage(tm *timing.Timer, rep *Report, cfg Config, mode timing.Mode, phase
 	rep.CSSTime += time.Since(t0)
 
 	rep.applyOpt(tm, targets, cfg, phase)
+	return nil
 }
 
 // applyOpt realizes targets physically (§IV) and records the post-OPT

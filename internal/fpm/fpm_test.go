@@ -89,7 +89,7 @@ func TestFPMExtractsFullGraph(t *testing.T) {
 	resF := Schedule(tmF, Options{})
 
 	tmC := newTimer(t, d2)
-	resC := core.Schedule(tmC, core.Options{Mode: timing.Early})
+	resC := mustCoreSchedule(t, tmC, core.Options{Mode: timing.Early})
 
 	// 6 FF→FF edges violate; FPM additionally extracts the clean edges
 	// (none here beyond those...), at minimum it extracts one edge per

@@ -1,0 +1,151 @@
+package fuzz
+
+import (
+	"math"
+	"testing"
+
+	"iterskew/internal/delay"
+	"iterskew/internal/netlist"
+	"iterskew/internal/oracle"
+	"iterskew/internal/timing"
+)
+
+// closedTopologies are the generator shapes with no primary ports, so every
+// clock-domain cell is a flip-flop and a uniform latency shift is observable
+// as a pure no-op. Mixed-bench designs always carry ports and are excluded.
+var closedTopologies = []Topology{TopoRing, TopoReconvergent, TopoHoldHeavy, TopoIslands, TopoSingleLoop}
+
+func closedDesign(t *testing.T, topo Topology, seed int64) *netlist.Design {
+	t.Helper()
+	d, err := Generate(Config{Topology: topo, FFs: 12, Ports: 0, Seed: seed})
+	if err != nil {
+		t.Fatalf("%v: %v", topo, err)
+	}
+	return d
+}
+
+// TestMetamorphicUniformShift: adding the same extra latency to every
+// flip-flop of a port-free design must leave every slack untouched — only
+// latency differences enter Eqs (1)–(2).
+func TestMetamorphicUniformShift(t *testing.T) {
+	const shift = 137.0
+	for _, topo := range closedTopologies {
+		t.Run(topo.String(), func(t *testing.T) {
+			d := closedDesign(t, topo, 9)
+			tm := newTimer(t, d)
+			type pair struct{ late, early float64 }
+			base := make([]pair, len(tm.Endpoints()))
+			for i := range tm.Endpoints() {
+				id := timing.EndpointID(i)
+				base[i] = pair{tm.LateSlack(id), tm.EarlySlack(id)}
+			}
+			for _, ff := range d.FFs {
+				tm.AddExtraLatency(ff, shift)
+			}
+			tm.Update()
+			for i := range tm.Endpoints() {
+				id := timing.EndpointID(i)
+				if !slackNear(tm.LateSlack(id), base[i].late, 1e-6) {
+					t.Errorf("late slack at endpoint %d moved: %v → %v", i, base[i].late, tm.LateSlack(id))
+				}
+				if !slackNear(tm.EarlySlack(id), base[i].early, 1e-6) {
+					t.Errorf("early slack at endpoint %d moved: %v → %v", i, base[i].early, tm.EarlySlack(id))
+				}
+			}
+
+			// The oracle must be invariant under the same shift.
+			g, err := oracle.Extract(d, tm.M)
+			if err != nil {
+				t.Fatal(err)
+			}
+			extra := map[netlist.CellID]float64{}
+			for _, ff := range d.FFs {
+				extra[ff] = shift
+			}
+			o0, o1 := g.EndpointSlacks(true, nil), g.EndpointSlacks(true, extra)
+			for cell, s := range o0 {
+				if !slackNear(o1[cell], s, 1e-6) {
+					t.Errorf("oracle late slack at %d moved under uniform shift: %v → %v", cell, s, o1[cell])
+				}
+			}
+		})
+	}
+}
+
+// TestMetamorphicPeriodShift: increasing the clock period by Δ must raise
+// every finite setup slack by exactly Δ and leave hold slacks alone — the
+// period only enters the late required time.
+func TestMetamorphicPeriodShift(t *testing.T) {
+	const dT = 250.0
+	for _, topo := range closedTopologies {
+		t.Run(topo.String(), func(t *testing.T) {
+			d := closedDesign(t, topo, 21)
+			tm := newTimer(t, d)
+			type pair struct{ late, early float64 }
+			base := make([]pair, len(tm.Endpoints()))
+			for i := range tm.Endpoints() {
+				id := timing.EndpointID(i)
+				base[i] = pair{tm.LateSlack(id), tm.EarlySlack(id)}
+			}
+			d.Period += dT
+			tm.FullUpdate()
+			for i := range tm.Endpoints() {
+				id := timing.EndpointID(i)
+				wantLate := base[i].late + dT
+				if math.IsInf(base[i].late, 1) {
+					wantLate = base[i].late
+				}
+				if !slackNear(tm.LateSlack(id), wantLate, 1e-6) {
+					t.Errorf("late slack at endpoint %d: got %v, want %v", i, tm.LateSlack(id), wantLate)
+				}
+				if !slackNear(tm.EarlySlack(id), base[i].early, 1e-6) {
+					t.Errorf("early slack at endpoint %d moved with the period: %v → %v", i, base[i].early, tm.EarlySlack(id))
+				}
+			}
+		})
+	}
+}
+
+// TestMetamorphicDerateMonotone: inflating the late derate can only lower
+// setup slacks; deflating the early derate can only lower hold slacks.
+// Derates scale cell and wire delays, so no slack may improve.
+func TestMetamorphicDerateMonotone(t *testing.T) {
+	for _, topo := range closedTopologies {
+		t.Run(topo.String(), func(t *testing.T) {
+			d := closedDesign(t, topo, 33)
+			tm := newTimer(t, d)
+			m2 := delay.Default()
+			m2.DerateLate = 1.15
+			m2.DerateEarly = 0.85
+			tm2, err := timing.New(d, m2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range tm.Endpoints() {
+				id := timing.EndpointID(i)
+				if l0, l1 := tm.LateSlack(id), tm2.LateSlack(id); !slackWorse(l1, l0) {
+					t.Errorf("late slack at endpoint %d improved under derate: %v → %v", i, l0, l1)
+				}
+				if e0, e1 := tm.EarlySlack(id), tm2.EarlySlack(id); !slackWorse(e1, e0) {
+					t.Errorf("early slack at endpoint %d improved under derate: %v → %v", i, e0, e1)
+				}
+			}
+		})
+	}
+}
+
+func slackNear(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// slackWorse reports whether a ≤ b, treating +Inf endpoints (no constrained
+// path) as equal.
+func slackWorse(a, b float64) bool {
+	if math.IsInf(a, 1) && math.IsInf(b, 1) {
+		return true
+	}
+	return a <= b+1e-9
+}

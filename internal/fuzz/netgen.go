@@ -1,0 +1,496 @@
+// Package fuzz is the adversarial netlist generator and the fuzzing harness
+// for the clock skew scheduling stack. It extends the benchmark generator
+// (internal/bench, previously reachable only through cmd/netgen) into a
+// seedable library of hostile topologies — dense cycles, reconvergent
+// fanout, hold-dominated clocking, disconnected islands, degenerate loops —
+// and drives every scheduler over them under the internal/oracle invariant
+// checker (see the Fuzz* and Test* functions).
+package fuzz
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"iterskew/internal/bench"
+	"iterskew/internal/delay"
+	"iterskew/internal/geom"
+	"iterskew/internal/netlist"
+	"iterskew/internal/timing"
+)
+
+// Topology selects one adversarial netlist family.
+type Topology int
+
+// The generated families. Each stresses a different scheduler code path.
+const (
+	// TopoMixedBench is the contest-like random-logic profile from
+	// internal/bench: the baseline population.
+	TopoMixedBench Topology = iota
+	// TopoRing builds register rings with cross-ring chords: the sequential
+	// graph is a mesh of overlapping directed cycles (§III-B2 territory).
+	TopoRing
+	// TopoReconvergent feeds every capture from a small shared gate mesh:
+	// every launch reaches every capture through common gates, the densest
+	// possible sequential graph.
+	TopoReconvergent
+	// TopoHoldHeavy clocks captures from a distant LCB so short local data
+	// paths violate hold by hundreds of ps (the Eq-11 safety regime).
+	TopoHoldHeavy
+	// TopoIslands mixes disjoint flip-flop groups, single-gate self-loops
+	// and completely unconnected flip-flops (infinite-slack endpoints).
+	TopoIslands
+	// TopoSingleLoop is one flip-flop looping onto itself through a gate —
+	// the minimal cycle-limited design.
+	TopoSingleLoop
+
+	numTopologies
+)
+
+// String implements fmt.Stringer.
+func (t Topology) String() string {
+	switch t {
+	case TopoMixedBench:
+		return "mixed"
+	case TopoRing:
+		return "ring"
+	case TopoReconvergent:
+		return "reconvergent"
+	case TopoHoldHeavy:
+		return "holdheavy"
+	case TopoIslands:
+		return "islands"
+	case TopoSingleLoop:
+		return "singleloop"
+	}
+	return fmt.Sprintf("topology(%d)", int(t))
+}
+
+// ParseTopology inverts String.
+func ParseTopology(s string) (Topology, error) {
+	for t := Topology(0); t < numTopologies; t++ {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown topology %q (want mixed, ring, reconvergent, holdheavy, islands or singleloop)", s)
+}
+
+// Config describes one generated netlist.
+type Config struct {
+	Topology Topology
+	// FFs is the flip-flop count (clamped to [1, 48]; ports may add a few
+	// dedicated capture flip-flops on top).
+	FFs int
+	// Ports adds this many input and output ports (where the topology
+	// supports them).
+	Ports int
+	// Seed drives every random choice; equal configs generate equal designs.
+	Seed int64
+	// PeriodScale multiplies the auto-calibrated clock period (default 1):
+	// below 1 the design starts violation-rich, above 1 violation-poor.
+	PeriodScale float64
+}
+
+// FromSeed derives a deterministic adversarial Config from one fuzzer seed,
+// covering every topology and a spread of sizes and period pressures.
+func FromSeed(seed int64) Config {
+	rng := rand.New(rand.NewSource(seed ^ 0x5deece66d))
+	return Config{
+		Topology:    Topology(rng.Intn(int(numTopologies))),
+		FFs:         4 + rng.Intn(33),
+		Ports:       rng.Intn(3),
+		Seed:        seed,
+		PeriodScale: 0.8 + 0.4*rng.Float64(),
+	}
+}
+
+// Generate builds the netlist for a config. The result always passes
+// netlist.Validate; degenerate inputs for the schedulers' typed-error paths
+// (zero flip-flops, direct self-loops, period 0) are built explicitly by the
+// tests instead.
+func Generate(cfg Config) (*netlist.Design, error) {
+	if cfg.FFs < 1 {
+		cfg.FFs = 1
+	}
+	if cfg.FFs > 48 {
+		cfg.FFs = 48
+	}
+	if cfg.PeriodScale <= 0 {
+		cfg.PeriodScale = 1
+	}
+	if cfg.Topology == TopoMixedBench {
+		p := bench.Profile{
+			Name: fmt.Sprintf("fuzz-mixed-%d", cfg.Seed),
+			FFs:  maxInt(cfg.FFs, 8),
+			Seed: cfg.Seed,
+		}
+		d, err := bench.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		d.Period *= cfg.PeriodScale
+		return d, nil
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed*2654435761 + int64(cfg.Topology)))
+	g := newGen(fmt.Sprintf("fuzz-%s-%d", cfg.Topology, cfg.Seed), cfg.FFs, rng)
+	switch cfg.Topology {
+	case TopoRing:
+		g.buildRings(cfg.FFs)
+	case TopoReconvergent:
+		g.buildReconvergent(cfg.FFs)
+	case TopoHoldHeavy:
+		g.buildHoldHeavy(cfg.FFs)
+	case TopoIslands:
+		g.buildIslands(cfg.FFs)
+	case TopoSingleLoop:
+		g.buildSingleLoop()
+	default:
+		return nil, fmt.Errorf("fuzz: unknown topology %v", cfg.Topology)
+	}
+	if cfg.Topology != TopoSingleLoop {
+		g.addPorts(cfg.Ports)
+	}
+	return g.finish(cfg)
+}
+
+// BenchDesign resolves cmd/netgen's profile selection: a scaled superblue
+// profile when name is set, a custom profile otherwise.
+func BenchDesign(name string, scale float64, ffs int, seed int64) (*netlist.Design, error) {
+	var p bench.Profile
+	if name != "" {
+		var err error
+		p, err = bench.Superblue(name, scale)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		p = bench.Profile{Name: fmt.Sprintf("custom-%d", ffs), FFs: ffs, Seed: seed}
+	}
+	return bench.Generate(p)
+}
+
+// gen carries the clock scaffolding shared by the adversarial builders.
+type gen struct {
+	d       *netlist.Design
+	lib     *netlist.Library
+	rng     *rand.Rand
+	lcbs    []netlist.CellID
+	clkNets []netlist.NetID
+	side    float64
+	nGate   int
+}
+
+func newGen(name string, nFF int, rng *rand.Rand) *gen {
+	lib := netlist.StdLib()
+	d := netlist.NewDesign(name, 0)
+	side := 3000.0
+	d.Die = geom.RectOf(geom.Pt(0, 0), geom.Pt(side, side))
+	d.MaxDisp = 400
+	d.LCBMaxFanout = 50
+	g := &gen{d: d, lib: lib, rng: rng, side: side}
+
+	root := d.AddCell("clkroot", lib.Get("CLKROOT"), d.Die.Center())
+	nLCB := 2 + nFF/40
+	var lcbIns []netlist.PinID
+	for i := 0; i < nLCB; i++ {
+		// LCBs spread along the diagonal so "distant LCB" clocking has real
+		// wire length behind it.
+		t := (float64(i) + 0.5) / float64(nLCB)
+		lcb := d.AddCell(fmt.Sprintf("lcb%d", i), lib.Get("LCB"), geom.Pt(side*t, side*t))
+		g.lcbs = append(g.lcbs, lcb)
+		lcbIns = append(lcbIns, d.LCBIn(lcb))
+	}
+	cn := d.Connect("clk_root", d.OutPin(root), lcbIns...)
+	d.Nets[cn].IsClock = true
+	for i, l := range g.lcbs {
+		cl := d.Connect(fmt.Sprintf("clk_l%d", i), d.LCBOut(l))
+		d.Nets[cl].IsClock = true
+		g.clkNets = append(g.clkNets, cl)
+	}
+	return g
+}
+
+// addFF places a flip-flop and clocks it from the given LCB (or the nearest
+// one with capacity when lcb < 0).
+func (g *gen) addFF(pos geom.Point, lcb int) netlist.CellID {
+	d := g.d
+	pos = d.Die.Clamp(pos)
+	ff := d.AddCell(fmt.Sprintf("ff%d", len(d.FFs)), g.lib.Get("DFF"), pos)
+	if lcb < 0 {
+		lcb = 0
+		best := math.Inf(1)
+		for i, l := range g.lcbs {
+			if d.LCBFanout(l) >= d.LCBMaxFanout {
+				continue
+			}
+			if dd := pos.Manhattan(d.Cells[l].Pos); dd < best {
+				best, lcb = dd, i
+			}
+		}
+	}
+	d.AddSink(g.clkNets[lcb], d.FFClock(ff))
+	return ff
+}
+
+// connect attaches sinks to the driver's net, creating it on first use.
+func (g *gen) connect(drv netlist.PinID, sinks ...netlist.PinID) {
+	if n := g.d.Pins[drv].Net; n != netlist.NoNet {
+		for _, s := range sinks {
+			g.d.AddSink(n, s)
+		}
+		return
+	}
+	g.d.Connect("n", drv, sinks...)
+}
+
+// chain builds depth random gates from src to dst along the straight line
+// between their owners.
+func (g *gen) chain(src, dst netlist.PinID, depth int) {
+	d := g.d
+	srcPos := d.Cells[d.Pins[src].Cell].Pos
+	dstPos := d.Cells[d.Pins[dst].Cell].Pos
+	prev := src
+	for j := 0; j < depth; j++ {
+		t := float64(j+1) / float64(depth+1)
+		pos := geom.Pt(srcPos.X+(dstPos.X-srcPos.X)*t, srcPos.Y+(dstPos.Y-srcPos.Y)*t)
+		jx := (g.rng.Float64()*2 - 1) * 30
+		jy := (g.rng.Float64()*2 - 1) * 30
+		ct := g.lib.Comb[g.rng.Intn(len(g.lib.Comb))]
+		gc := d.AddCell(fmt.Sprintf("fg%d", g.nGate), ct, d.Die.Clamp(pos.Add(geom.Pt(jx, jy))))
+		g.nGate++
+		ins := make([]netlist.PinID, ct.NumInputs)
+		for k := range ins {
+			ins[k] = d.Cells[gc].Pins[k]
+		}
+		g.connect(prev, ins...)
+		prev = d.OutPin(gc)
+	}
+	g.connect(prev, dst)
+}
+
+// merge2 drives dst from a two-input gate fed by two sources (through short
+// chains), giving dst reconvergent fanin.
+func (g *gen) merge2(a, b, dst netlist.PinID) {
+	d := g.d
+	pos := d.Cells[d.Pins[dst].Cell].Pos
+	mg := d.AddCell(fmt.Sprintf("fm%d", g.nGate), g.lib.Get("NAND2"), d.Die.Clamp(pos.Add(geom.Pt(-40, 20))))
+	g.nGate++
+	g.chain(a, d.Cells[mg].Pins[0], g.rng.Intn(3))
+	g.chain(b, d.Cells[mg].Pins[1], g.rng.Intn(2))
+	g.connect(d.OutPin(mg), dst)
+}
+
+// buildRings distributes the flip-flops over register rings and wires each
+// ring as a cycle; ~40% of captures additionally merge a chord from a random
+// flip-flop anywhere in the design.
+func (g *gen) buildRings(nFF int) {
+	d := g.d
+	ringLen := 3 + g.rng.Intn(4)
+	var ffs []netlist.CellID
+	ring := 0
+	for len(ffs) < nFF {
+		n := minInt(ringLen, nFF-len(ffs))
+		if n < 2 {
+			n = 2
+		}
+		radius := g.side * (0.12 + 0.1*float64(ring))
+		for i := 0; i < n; i++ {
+			a := 2 * math.Pi * float64(i) / float64(n)
+			ffs = append(ffs, g.addFF(d.Die.Center().Add(geom.Pt(radius*math.Cos(a), radius*math.Sin(a))), -1))
+		}
+		ring++
+	}
+	// Wire ring by ring over the flat creation order.
+	for lo := 0; lo < len(ffs); {
+		n := minInt(ringLen, len(ffs)-lo)
+		if n < 2 {
+			n = len(ffs) - lo
+		}
+		for i := 0; i < n; i++ {
+			u := ffs[lo+i]
+			v := ffs[lo+(i+1)%n]
+			if g.rng.Float64() < 0.4 {
+				chord := ffs[g.rng.Intn(len(ffs))]
+				g.merge2(d.FFQ(u), d.FFQ(chord), d.FFData(v))
+			} else {
+				g.chain(d.FFQ(u), d.FFData(v), 1+g.rng.Intn(3))
+			}
+		}
+		lo += n
+	}
+}
+
+// buildReconvergent funnels every launch through a narrow shared mesh that
+// every capture taps: each (launch, capture) pair is connected through
+// common gates.
+func (g *gen) buildReconvergent(nFF int) {
+	d := g.d
+	center := d.Die.Center()
+	var ffs []netlist.CellID
+	for i := 0; i < nFF; i++ {
+		a := 2 * math.Pi * float64(i) / float64(nFF)
+		r := g.side * 0.15
+		ffs = append(ffs, g.addFF(center.Add(geom.Pt(r*math.Cos(a), r*math.Sin(a))), -1))
+	}
+	prev := make([]netlist.PinID, 0, nFF)
+	for _, ff := range ffs {
+		inv := d.AddCell(fmt.Sprintf("fh%d", g.nGate), g.lib.Get("INV"), center.Add(geom.Pt(-60, float64(len(prev))*8)))
+		g.nGate++
+		g.connect(d.FFQ(ff), d.Cells[inv].Pins[0])
+		prev = append(prev, d.OutPin(inv))
+	}
+	layers := 2 + g.rng.Intn(2)
+	width := maxInt(3, nFF/2)
+	for s := 0; s < layers; s++ {
+		cur := make([]netlist.PinID, 0, width)
+		for w := 0; w < width; w++ {
+			mg := d.AddCell(fmt.Sprintf("fh%d", g.nGate), g.lib.Get("NAND2"),
+				center.Add(geom.Pt(float64(s)*50, float64(w)*10-100)))
+			g.nGate++
+			g.connect(prev[g.rng.Intn(len(prev))], d.Cells[mg].Pins[0])
+			g.connect(prev[g.rng.Intn(len(prev))], d.Cells[mg].Pins[1])
+			cur = append(cur, d.OutPin(mg))
+		}
+		prev = cur
+	}
+	for _, ff := range ffs {
+		g.chain(prev[g.rng.Intn(len(prev))], d.FFData(ff), g.rng.Intn(2))
+	}
+}
+
+// buildHoldHeavy builds launch/capture pairs that sit next to each other but
+// are clocked from LCBs at opposite ends of the die: the capture's long
+// clock branch turns the one-gate data path into a deep hold violation.
+// Half the pairs get a long return path, so fixing the hold violation by
+// raising the launch competes with a setup check.
+func (g *gen) buildHoldHeavy(nFF int) {
+	d := g.d
+	n := len(g.lcbs)
+	for i := 0; i+1 < nFF; i += 2 {
+		near := (i / 2) % n
+		far := (near + n/2 + 1) % n
+		base := d.Cells[g.lcbs[near]].Pos
+		launch := g.addFF(base.Add(geom.Pt(30, -20)), near)
+		capture := g.addFF(base.Add(geom.Pt(80, 25)), far)
+		g.chain(d.FFQ(launch), d.FFData(capture), 1)
+		if g.rng.Float64() < 0.5 {
+			g.chain(d.FFQ(capture), d.FFData(launch), 4+g.rng.Intn(4))
+		}
+	}
+	if nFF%2 == 1 {
+		ff := g.addFF(d.Die.Center(), -1)
+		g.chain(d.FFQ(ff), d.FFData(ff), 1)
+	}
+}
+
+// buildIslands mixes disjoint sequential groups, self-loop singletons and
+// flip-flops with no data connectivity at all (their endpoints keep +Inf
+// slack and must not confuse any scheduler).
+func (g *gen) buildIslands(nFF int) {
+	d := g.d
+	remaining := nFF
+	island := 0
+	for remaining > 0 {
+		r := g.rng.Float64()
+		pos := geom.Pt(g.side*0.15+g.rng.Float64()*g.side*0.7, g.side*0.15+g.rng.Float64()*g.side*0.7)
+		switch {
+		case r < 0.6 && remaining >= 2:
+			n := minInt(2+g.rng.Intn(3), remaining)
+			var ffs []netlist.CellID
+			for i := 0; i < n; i++ {
+				a := 2 * math.Pi * float64(i) / float64(n)
+				ffs = append(ffs, g.addFF(pos.Add(geom.Pt(120*math.Cos(a), 120*math.Sin(a))), -1))
+			}
+			for i := range ffs {
+				g.chain(d.FFQ(ffs[i]), d.FFData(ffs[(i+1)%n]), 1+g.rng.Intn(2))
+			}
+			remaining -= n
+		case r < 0.85:
+			ff := g.addFF(pos, -1)
+			g.chain(d.FFQ(ff), d.FFData(ff), 1+g.rng.Intn(2))
+			remaining--
+		default:
+			g.addFF(pos, -1) // clock only: no data pins connected
+			remaining--
+		}
+		island++
+	}
+}
+
+// buildSingleLoop is the degenerate-but-valid minimum: one flip-flop, one
+// gate, one cycle.
+func (g *gen) buildSingleLoop() {
+	ff := g.addFF(g.d.Die.Center(), 0)
+	g.chain(g.d.FFQ(ff), g.d.FFData(ff), 1)
+}
+
+// addPorts adds n input ports (each feeding a dedicated capture flip-flop)
+// and n output ports (each capturing from a random flip-flop), with random
+// external delays.
+func (g *gen) addPorts(n int) {
+	d := g.d
+	for i := 0; i < n; i++ {
+		y := g.side * (0.2 + 0.6*g.rng.Float64())
+		in := d.AddCell(fmt.Sprintf("fin%d", i), g.lib.Get("PORTIN"), geom.Pt(0, y))
+		ff := g.addFF(geom.Pt(g.side*0.1, y), -1)
+		g.chain(d.OutPin(in), d.FFData(ff), 1+g.rng.Intn(2))
+		d.SetInputDelay(in, g.rng.Float64()*40)
+
+		out := d.AddCell(fmt.Sprintf("fout%d", i), g.lib.Get("PORTOUT"), geom.Pt(g.side, y))
+		src := d.FFs[g.rng.Intn(len(d.FFs))]
+		g.chain(d.FFQ(src), d.Cells[out].Pins[0], 1+g.rng.Intn(2))
+		d.SetOutputDelay(out, g.rng.Float64()*40)
+	}
+}
+
+// finish validates the design and calibrates the period from a throwaway
+// timer: the 90th percentile of per-endpoint critical periods, scaled by
+// PeriodScale — violation-rich below 1, mostly clean above.
+func (g *gen) finish(cfg Config) (*netlist.Design, error) {
+	d := g.d
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("fuzz: generated design invalid: %w", err)
+	}
+	tm, err := timing.New(d, delay.Default())
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: calibration timer: %w", err)
+	}
+	var tcrit []float64
+	var latSum float64
+	for _, ff := range d.FFs {
+		latSum += tm.BaseLatency(ff)
+		at := tm.ArrivalMax(d.FFData(ff))
+		if math.IsInf(at, 0) {
+			continue
+		}
+		tcrit = append(tcrit, at-tm.Latency(ff)+d.Cells[ff].Type.Setup)
+	}
+	if len(tcrit) == 0 {
+		d.Period = 600 * cfg.PeriodScale
+	} else {
+		sort.Float64s(tcrit)
+		p := tcrit[int(float64(len(tcrit))*0.9)] * cfg.PeriodScale
+		d.Period = math.Max(p, 100)
+	}
+	if len(d.FFs) > 0 {
+		d.PortLatency = latSum / float64(len(d.FFs))
+	}
+	return d, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -46,7 +46,7 @@ func TestConstraintCallbackFires(t *testing.T) {
 	// assert the run completes, honors the cap semantics, and never makes
 	// early timing worse.
 	e0, _ := tm.WNSTNS(timing.Early)
-	res := Schedule(tm, Options{Mode: timing.Late})
+	res := mustSchedule(t, tm, Options{Mode: timing.Late})
 	e1, _ := tm.WNSTNS(timing.Early)
 	if e1 < minf(e0, 0)-1e-6 {
 		t.Errorf("early degraded: %v -> %v (constraint exts: %d)", e0, e1, res.ConstraintExts)
@@ -72,13 +72,13 @@ func TestICCSSStaleBoundVsTimer(t *testing.T) {
 		dB := dA.Clone()
 
 		tmIC := newTimer(t, dA)
-		Schedule(tmIC, Options{Mode: timing.Late})
+		mustSchedule(t, tmIC, Options{Mode: timing.Late})
 		if e, _ := tmIC.WNSTNS(timing.Early); e < -1e-6 {
 			t.Errorf("stages %v: IC-CSS+ created early violations: %v", stages, e)
 		}
 
 		tmCore := newTimer(t, dB)
-		core.Schedule(tmCore, core.Options{Mode: timing.Late})
+		mustCore(t, tmCore, core.Options{Mode: timing.Late})
 		_, tnsCore := tmCore.WNSTNS(timing.Late)
 		_, tnsIC := tmIC.WNSTNS(timing.Late)
 		// Core's refreshed bound can only help.
@@ -93,7 +93,7 @@ func TestICCSSStaleBoundVsTimer(t *testing.T) {
 func TestICCSSCriticalityMonotone(t *testing.T) {
 	d, _ := buildChain(t, 300, []int{20, 2, 15, 3})
 	tm := newTimer(t, d)
-	res := Schedule(tm, Options{Mode: timing.Late})
+	res := mustSchedule(t, tm, Options{Mode: timing.Late})
 	launches := len(d.FFs) + len(d.InPorts)
 	if res.CriticalVerts > launches {
 		t.Errorf("critical vertices %d exceed launch population %d", res.CriticalVerts, launches)

@@ -47,6 +47,7 @@ type Result struct {
 	Target         map[netlist.CellID]float64
 	Rounds         int
 	Cycles         int
+	CycleFixes     []core.CycleFix // Eq-9 assignments, for the invariant checker
 	EdgesExtracted int
 	CriticalVerts  int // vertices whose full fanout was extracted
 	ConstraintExts int // constraint-edge callback invocations
@@ -55,9 +56,14 @@ type Result struct {
 }
 
 // Schedule runs IC-CSS+ on the timer's design. Like core.Schedule it leaves
-// the computed latencies applied as predictive latencies.
-func Schedule(tm *timing.Timer, opts Options) *Result {
+// the computed latencies applied as predictive latencies, and like
+// core.Schedule it rejects degenerate designs with a
+// *core.DegenerateInputError.
+func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 	start := time.Now()
+	if err := core.ValidateInput(tm.D); err != nil {
+		return nil, err
+	}
 	if opts.MaxRounds == 0 {
 		opts.MaxRounds = 200
 	}
@@ -273,6 +279,18 @@ func Schedule(tm *timing.Timer, opts Options) *Result {
 		if cyc != nil {
 			res.Cycles++
 			tMean := cyc.MeanWeight(w)
+			fix := core.CycleFix{
+				Cells: make([]netlist.CellID, len(cyc.Vertices)),
+				Edges: make([]timing.SeqEdge, len(cyc.Edges)),
+				Mean:  tMean,
+			}
+			for i, v := range cyc.Vertices {
+				fix.Cells[i] = g.Cells[v]
+			}
+			for i, eid := range cyc.Edges {
+				fix.Edges[i] = g.Edges[eid].Seq
+			}
+			res.CycleFixes = append(res.CycleFixes, fix)
 			alpha := 0.0
 			minL := 0.0
 			lat := make([]float64, len(cyc.Vertices))
@@ -356,5 +374,5 @@ func Schedule(tm *timing.Timer, opts Options) *Result {
 
 	res.EdgesExtracted = len(g.Edges)
 	res.Elapsed = time.Since(start)
-	return res
+	return res, nil
 }

@@ -78,7 +78,7 @@ func TestICCSSFixesLateViolations(t *testing.T) {
 	if wns0 >= 0 {
 		t.Fatal("no late violation in fixture")
 	}
-	res := Schedule(tm, Options{Mode: timing.Late})
+	res := mustSchedule(t, tm, Options{Mode: timing.Late})
 	wns1, _ := tm.WNSTNS(timing.Late)
 	if wns1 < -1e-6 {
 		t.Errorf("late WNS not eliminated: %v -> %v", wns0, wns1)
@@ -103,8 +103,8 @@ func TestICCSSMatchesCoreQuality(t *testing.T) {
 		tmA := newTimer(t, dA)
 		tmB := newTimer(t, dB)
 
-		resCore := core.Schedule(tmA, core.Options{Mode: timing.Late})
-		resIC := Schedule(tmB, Options{Mode: timing.Late})
+		resCore := mustCore(t, tmA, core.Options{Mode: timing.Late})
+		resIC := mustSchedule(t, tmB, Options{Mode: timing.Late})
 
 		wnsA, tnsA := tmA.WNSTNS(timing.Late)
 		wnsB, tnsB := tmB.WNSTNS(timing.Late)
@@ -171,8 +171,8 @@ func TestICCSSExtractsNonEssential(t *testing.T) {
 	tmCore := newTimer(t, d)
 	tmIC := newTimer(t, d2)
 
-	resCore := core.Schedule(tmCore, core.Options{Mode: timing.Late})
-	resIC := Schedule(tmIC, Options{Mode: timing.Late})
+	resCore := mustCore(t, tmCore, core.Options{Mode: timing.Late})
+	resIC := mustSchedule(t, tmIC, Options{Mode: timing.Late})
 
 	if resCore.EdgesExtracted >= resIC.EdgesExtracted {
 		t.Errorf("expected core (%d edges) << iccss (%d edges)",
@@ -199,7 +199,7 @@ func TestICCSSHonorsLatencyBound(t *testing.T) {
 	d, _ := buildChain(t, 300, []int{20, 2})
 	tm := newTimer(t, d)
 	const ub = 10.0
-	res := Schedule(tm, Options{
+	res := mustSchedule(t, tm, Options{
 		Mode:      timing.Late,
 		LatencyUB: func(netlist.CellID) float64 { return ub },
 	})
@@ -236,7 +236,7 @@ func TestICCSSEarlyMode(t *testing.T) {
 	if wns, _ := tm.WNSTNS(timing.Early); wns >= 0 {
 		t.Fatal("no early violation")
 	}
-	Schedule(tm, Options{Mode: timing.Early})
+	mustSchedule(t, tm, Options{Mode: timing.Early})
 	if wns, _ := tm.WNSTNS(timing.Early); wns < -1e-6 {
 		t.Errorf("early violation not fixed: %v", wns)
 	}

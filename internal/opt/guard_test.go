@@ -13,7 +13,7 @@ import (
 func TestReconnectGuardMonotone(t *testing.T) {
 	d, _ := buildGrid(t, 300, 20, 24)
 	tm := newTimer(t, d)
-	res := core.Schedule(tm, core.Options{Mode: timing.Late})
+	res := mustCoreSchedule(t, tm, core.Options{Mode: timing.Late})
 
 	// Snapshot the PHYSICAL baseline (without predictive latencies).
 	for _, ff := range d.FFs {

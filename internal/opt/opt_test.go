@@ -95,7 +95,7 @@ func TestReconnectRealizesTarget(t *testing.T) {
 		t.Fatal("no late violation in fixture")
 	}
 
-	res := core.Schedule(tm, core.Options{Mode: timing.Late})
+	res := mustCoreSchedule(t, tm, core.Options{Mode: timing.Late})
 	if res.Target[ffs[1]] <= 0 {
 		t.Fatalf("CSS produced no target for ff1: %+v", res.Target)
 	}
@@ -134,7 +134,7 @@ func TestReconnectRespectsFanoutLimit(t *testing.T) {
 		}
 	}
 	tm := newTimer(t, d)
-	res := core.Schedule(tm, core.Options{Mode: timing.Late})
+	res := mustCoreSchedule(t, tm, core.Options{Mode: timing.Late})
 	rres := Reconnect(tm, res.Target, ReconnectOptions{})
 	if rres.Reconnected != 0 {
 		t.Errorf("reconnected %d FFs despite all LCBs at fanout limit", rres.Reconnected)
@@ -243,7 +243,7 @@ func TestOptimizeEndToEnd(t *testing.T) {
 	d, _ := buildGrid(t, 300, 20, 24)
 	tm := newTimer(t, d)
 	wns0, _ := tm.WNSTNS(timing.Late)
-	res := core.Schedule(tm, core.Options{Mode: timing.Late})
+	res := mustCoreSchedule(t, tm, core.Options{Mode: timing.Late})
 	o := Optimize(tm, res.Target, Options{})
 	if o.Reconnect == nil || o.Move == nil {
 		t.Fatal("missing sub-results")

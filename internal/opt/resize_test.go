@@ -118,12 +118,12 @@ func TestResizeWithCSS(t *testing.T) {
 	d2 := d.Clone()
 
 	tmCSS := newTimer(t, d)
-	r := core.Schedule(tmCSS, core.Options{Mode: timing.Late})
+	r := mustCoreSchedule(t, tmCSS, core.Options{Mode: timing.Late})
 	Optimize(tmCSS, r.Target, Options{})
 	_, tnsCSS := tmCSS.WNSTNS(timing.Late)
 
 	tmBoth := newTimer(t, d2)
-	r2 := core.Schedule(tmBoth, core.Options{Mode: timing.Late})
+	r2 := mustCoreSchedule(t, tmBoth, core.Options{Mode: timing.Late})
 	Optimize(tmBoth, r2.Target, Options{})
 	ResizeCells(tmBoth, ResizeOptions{})
 	_, tnsBoth := tmBoth.WNSTNS(timing.Late)

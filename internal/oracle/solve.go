@@ -1,0 +1,310 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"iterskew/internal/netlist"
+)
+
+// SolveOptions configures one optimal-latency computation.
+type SolveOptions struct {
+	// Late selects the objective: true maximizes the worst setup slack over
+	// the late graph (the classical CSS objective), false the worst hold
+	// slack over the early graph.
+	Late bool
+	// SafeOpposite additionally constrains every opposite-check edge's
+	// slack to stay at or above min(its unscheduled slack, 0) — the region
+	// the scheduler's Eq-11 headroom bound confines it to. Without it the
+	// optimum is the unconstrained single-objective bound.
+	SafeOpposite bool
+	// LatencyUB optionally bounds each flip-flop's extra latency from above
+	// (Eq 5). Negative bounds are treated as zero.
+	LatencyUB func(netlist.CellID) float64
+	// Tol is the binary-search termination window in ps; 0 means 1e-7.
+	Tol float64
+}
+
+// Solution reports an optimal-latency computation.
+type Solution struct {
+	// WorstSlack is the maximum achievable worst objective slack. When
+	// Capped is set the true optimum exceeds the search ceiling (one period
+	// above zero) and WorstSlack is only a lower bound — far beyond any
+	// value the checkers compare against.
+	WorstSlack float64
+	Capped     bool
+	// Latency is a witness assignment achieving WorstSlack (within Tol):
+	// non-negative extra latencies per flip-flop, ports pinned at zero.
+	Latency map[netlist.CellID]float64
+	// Iterations counts binary-search probes.
+	Iterations int
+	// Binding describes the constraints of one negative cycle at
+	// WorstSlack+δ — the certificate of why the optimum cannot improve.
+	// Empty when Capped (nothing binds below the ceiling).
+	Binding []string
+}
+
+// Solver arc kinds, for the binding-constraint certificate.
+const (
+	arcObjective = iota // parametric: weight w0 − s
+	arcSafety           // opposite-mode floor: weight w0 − min(w0, 0)
+	arcNonNeg           // λ(v) ≥ 0
+	arcUB               // λ(v) ≤ ub (Eq 5)
+)
+
+type solverArc struct {
+	from, to int
+	w        float64
+	kind     int
+	launch   netlist.CellID // objective/safety arcs: the underlying edge
+	capture  netlist.CellID
+	w0       float64
+}
+
+// Solve computes the optimal worst-slack latency assignment over the full
+// graph by binary search on the candidate worst slack s, deciding each
+// candidate's feasibility as a difference-constraint system: in unified
+// orientation every objective edge tail→head demands
+// λ(tail) − λ(head) ≤ w0 − s, which is a shortest-path arc head→tail of
+// weight w0 − s; s is achievable iff the constraint graph has no negative
+// cycle (Bellman–Ford), and the shortest-path potentials are a witness
+// assignment. extra is the latency baseline the slacks w0 are measured at
+// (nil for an unscheduled design); the returned latencies are relative to
+// that baseline.
+func (g *Graph) Solve(extra map[netlist.CellID]float64, opts SolveOptions) *Solution {
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-7
+	}
+	d := g.D
+
+	// Node numbering: flip-flops 0..n-1, the zero vertex (all ports plus
+	// the λ=0 reference) at n.
+	idx := make(map[netlist.CellID]int, len(d.FFs))
+	for i, ff := range d.FFs {
+		idx[ff] = i
+	}
+	z := len(d.FFs)
+	node := func(c netlist.CellID) int {
+		if i, ok := idx[c]; ok {
+			return i
+		}
+		return z
+	}
+
+	var arcs []solverArc
+	lo := math.Inf(1)
+
+	// Objective edges: unified orientation puts the vertex whose raise
+	// helps at the head. Late edge launch→capture: slack rises with
+	// λ(capture). Early edge capture→launch: slack rises with λ(launch).
+	obj := g.Late
+	if !opts.Late {
+		obj = g.Early
+	}
+	for _, e := range obj {
+		w0 := g.EdgeSlack(e, opts.Late, extra)
+		tail, head := e.Launch, e.Capture
+		if !opts.Late {
+			tail, head = e.Capture, e.Launch
+		}
+		arcs = append(arcs, solverArc{
+			from: node(head), to: node(tail), w: w0,
+			kind: arcObjective, launch: e.Launch, capture: e.Capture, w0: w0,
+		})
+		if w0 < lo {
+			lo = w0
+		}
+	}
+	if math.IsInf(lo, 1) {
+		// No objective edges: every assignment is vacuously optimal.
+		return &Solution{WorstSlack: math.Inf(1), Latency: map[netlist.CellID]float64{}}
+	}
+
+	if opts.SafeOpposite {
+		safe := g.Early
+		if !opts.Late {
+			safe = g.Late
+		}
+		for _, e := range safe {
+			w0 := g.EdgeSlack(e, !opts.Late, extra)
+			tail, head := e.Capture, e.Launch
+			if !opts.Late {
+				tail, head = e.Launch, e.Capture
+			}
+			floor := math.Min(w0, 0)
+			arcs = append(arcs, solverArc{
+				from: node(head), to: node(tail), w: w0 - floor,
+				kind: arcSafety, launch: e.Launch, capture: e.Capture, w0: w0,
+			})
+		}
+	}
+	for i, ff := range d.FFs {
+		arcs = append(arcs, solverArc{from: i, to: z, w: 0, kind: arcNonNeg, launch: ff})
+		if opts.LatencyUB != nil {
+			ub := math.Max(0, opts.LatencyUB(ff))
+			if !math.IsInf(ub, 1) {
+				arcs = append(arcs, solverArc{from: z, to: i, w: ub, kind: arcUB, launch: ff})
+			}
+		}
+	}
+
+	n := z + 1
+	dist := make([]float64, n)
+	parent := make([]int, n) // arc index realizing dist, -1 for the source
+
+	// feasible runs Bellman–Ford from an implicit super source (all dist 0)
+	// and reports whether the system admits a solution for the arc weights
+	// as given (objective arcs lowered by s).
+	feasible := func(s float64) (bool, int) {
+		for i := range dist {
+			dist[i] = 0
+			parent[i] = -1
+		}
+		for pass := 0; pass < n; pass++ {
+			changed := false
+			for ai := range arcs {
+				a := &arcs[ai]
+				w := a.w
+				if a.kind == arcObjective {
+					w -= s
+				}
+				if nd := dist[a.from] + w; nd < dist[a.to]-1e-12 {
+					dist[a.to] = nd
+					parent[a.to] = ai
+					changed = true
+				}
+			}
+			if !changed {
+				return true, -1
+			}
+		}
+		// One more pass: any relaxation now certifies a negative cycle.
+		for ai := range arcs {
+			a := &arcs[ai]
+			w := a.w
+			if a.kind == arcObjective {
+				w -= s
+			}
+			if dist[a.from]+w < dist[a.to]-1e-12 {
+				dist[a.to] = dist[a.from] + w
+				parent[a.to] = ai
+				return false, a.to
+			}
+		}
+		return true, -1
+	}
+
+	sol := &Solution{}
+	witness := func() map[netlist.CellID]float64 {
+		lat := make(map[netlist.CellID]float64, len(d.FFs))
+		for i, ff := range d.FFs {
+			if l := dist[i] - dist[z]; l > 0 {
+				lat[ff] = l
+			}
+		}
+		return lat
+	}
+
+	if ok, _ := feasible(lo); !ok {
+		// Only possible through pathological bounds (e.g. an upper bound
+		// below a mandated floor); report the unscheduled worst slack with
+		// the cycle as certificate.
+		sol.WorstSlack = lo
+		sol.Latency = map[netlist.CellID]float64{}
+		sol.Binding = g.describeCycle(arcs, parent, lo)
+		return sol
+	}
+	sol.Latency = witness()
+
+	hi := math.Max(lo, 0) + d.Period
+	if ok, _ := feasible(hi); ok {
+		sol.WorstSlack = hi
+		sol.Capped = true
+		sol.Latency = witness()
+		return sol
+	}
+	for hi-lo > tol {
+		sol.Iterations++
+		mid := lo + (hi-lo)/2
+		if ok, _ := feasible(mid); ok {
+			lo = mid
+			sol.Latency = witness()
+		} else {
+			hi = mid
+		}
+		if sol.Iterations > 200 {
+			break
+		}
+	}
+	sol.WorstSlack = lo
+
+	// Certificate: just above the optimum the system is infeasible; the
+	// negative cycle's non-objective arcs are the binding constraints.
+	if ok, _ := feasible(lo + math.Max(10*tol, 1e-6)); !ok {
+		sol.Binding = g.describeCycle(arcs, parent, lo)
+	}
+	// Re-establish the witness potentials (feasible() above overwrote dist).
+	if ok, _ := feasible(lo); ok {
+		sol.Latency = witness()
+	}
+	return sol
+}
+
+// describeCycle walks parent pointers from an over-relaxed node back to a
+// negative cycle and renders each arc's constraint. The cycle is reached by
+// stepping n times first (standard Bellman–Ford cycle recovery).
+func (g *Graph) describeCycle(arcs []solverArc, parent []int, s float64) []string {
+	// Find any node with a parent, step len(parent) times to land inside
+	// the cycle.
+	v := -1
+	for i, p := range parent {
+		if p >= 0 {
+			v = i
+			break
+		}
+	}
+	if v < 0 {
+		return nil
+	}
+	for i := 0; i < len(parent); i++ {
+		ai := parent[v]
+		if ai < 0 {
+			return nil
+		}
+		v = arcs[ai].from
+	}
+	start := v
+	var out []string
+	for {
+		ai := parent[v]
+		if ai < 0 {
+			break
+		}
+		a := &arcs[ai]
+		switch a.kind {
+		case arcObjective:
+			out = append(out, fmt.Sprintf("objective edge %s→%s (slack %.4g at the baseline, target %.4g)",
+				g.cellName(a.launch), g.cellName(a.capture), a.w0, s))
+		case arcSafety:
+			out = append(out, fmt.Sprintf("hold-safety floor on edge %s→%s (opposite slack %.4g, floor %.4g)",
+				g.cellName(a.launch), g.cellName(a.capture), a.w0, math.Min(a.w0, 0)))
+		case arcNonNeg:
+			out = append(out, fmt.Sprintf("non-negative latency bound on %s", g.cellName(a.launch)))
+		case arcUB:
+			out = append(out, fmt.Sprintf("latency upper bound on %s (Eq 5)", g.cellName(a.launch)))
+		}
+		v = a.from
+		if v == start || len(out) > len(arcs) {
+			break
+		}
+	}
+	return out
+}
+
+func (g *Graph) cellName(c netlist.CellID) string {
+	if n := g.D.Cells[c].Name; n != "" {
+		return n
+	}
+	return fmt.Sprintf("cell%d", c)
+}

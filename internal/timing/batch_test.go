@@ -54,6 +54,74 @@ func TestBatchExtractionMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestBatchExtractionEdgeCases pins the degenerate batch paths: empty root
+// sets are no-ops that preserve the destination slice, worker counts beyond
+// the root count or at/below zero normalize instead of spawning idle or
+// broken pools, and every width agrees with the single-worker run.
+func TestBatchExtractionEdgeCases(t *testing.T) {
+	tm := genTimer(t)
+	d := tm.D
+
+	t.Run("empty-roots", func(t *testing.T) {
+		prefix := []timing.SeqEdge{{Launch: d.FFs[0], Capture: d.FFs[1], Mode: timing.Late}}
+		for _, w := range []int{0, 1, 8} {
+			if got := tm.ExtractAllFromBatch(nil, timing.Late, w, append([]timing.SeqEdge(nil), prefix...)); len(got) != 1 || got[0] != prefix[0] {
+				t.Errorf("workers=%d: empty launch batch returned %d edges, want the untouched prefix", w, len(got))
+			}
+			if got := tm.ExtractEssentialBatch(nil, timing.Late, 0, w, nil); len(got) != 0 {
+				t.Errorf("workers=%d: empty endpoint batch returned %d edges", w, len(got))
+			}
+		}
+	})
+
+	t.Run("more-workers-than-roots", func(t *testing.T) {
+		roots := d.FFs[:3]
+		want := tm.ExtractAllFromBatch(roots, timing.Late, 1, nil)
+		if got := tm.ExtractAllFromBatch(roots, timing.Late, 64, nil); !sameEdges(got, want) {
+			t.Errorf("64 workers over 3 roots: %d edges vs %d serial", len(got), len(want))
+		}
+	})
+
+	t.Run("worker-normalization", func(t *testing.T) {
+		endpoints := tm.ViolatedEndpoints(timing.Late, nil)
+		want := tm.ExtractEssentialBatch(endpoints, timing.Late, 0, 1, nil)
+		// 0 defers to the timer's configured width, negative to GOMAXPROCS;
+		// both must produce the single-worker result exactly.
+		for _, w := range []int{0, -1, -7} {
+			if got := tm.ExtractEssentialBatch(endpoints, timing.Late, 0, w, nil); !sameEdges(got, want) {
+				t.Errorf("workers=%d: %d edges vs %d single-worker", w, len(got), len(want))
+			}
+		}
+		tm.SetWorkers(5)
+		if got := tm.ExtractEssentialBatch(endpoints, timing.Late, 0, 0, nil); !sameEdges(got, want) {
+			t.Errorf("workers=0 with timer width 5: %d edges vs %d single-worker", len(got), len(want))
+		}
+	})
+
+	t.Run("width-identity", func(t *testing.T) {
+		for _, m := range []timing.Mode{timing.Late, timing.Early} {
+			want := tm.ExtractAllIntoBatch(d.FFs, m, 1, nil)
+			for _, w := range []int{2, 7, 16} {
+				if got := tm.ExtractAllIntoBatch(d.FFs, m, w, nil); !sameEdges(got, want) {
+					t.Errorf("mode %v workers=%d: %d edges vs %d single-worker", m, w, len(got), len(want))
+				}
+			}
+		}
+	})
+}
+
+func sameEdges(a, b []timing.SeqEdge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // TestBatchExtractionRace is meaningful under -race: it hammers the batch
 // extractors and the parallel incremental Update with 8 workers while
 // latencies move between rounds.

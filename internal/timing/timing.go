@@ -131,8 +131,8 @@ type Timer struct {
 
 	// Parallel-propagation state.
 	lvlBuckets [][]netlist.PinID
-	workers    int          // worker-pool width used by Update (1 = serial)
-	pool       extractPool  // batch-extraction worker scratch (batch.go)
+	workers    int         // worker-pool width used by Update (1 = serial)
+	pool       extractPool // batch-extraction worker scratch (batch.go)
 
 	// Analysis-corner derates (from M; 1.0 when unset).
 	dEarly, dLate float64

@@ -150,12 +150,19 @@ func GenerateBenchmark(p Profile) (*Design, error) { return bench.Generate(p) }
 // NewTimer builds a timer over the design using the default delay model.
 func NewTimer(d *Design) (*Timer, error) { return timing.New(d, delay.Default()) }
 
+// DegenerateInputError is returned by the schedulers for inputs that clock
+// skew scheduling cannot meaningfully process: zero-FF designs, non-positive
+// periods, and flip-flops whose Q drives their own D directly.
+type DegenerateInputError = core.DegenerateInputError
+
 // ScheduleSkew runs the paper's iterative clock skew scheduling (Alg 1) and
 // leaves the computed latencies applied predictively on the timer.
-func ScheduleSkew(tm *Timer, o ScheduleOptions) *ScheduleResult { return core.Schedule(tm, o) }
+// Degenerate designs return a *DegenerateInputError.
+func ScheduleSkew(tm *Timer, o ScheduleOptions) (*ScheduleResult, error) { return core.Schedule(tm, o) }
 
-// ScheduleICCSS runs the IC-CSS+ baseline (§III-E).
-func ScheduleICCSS(tm *Timer, o ICCSSOptions) *ICCSSResult { return iccss.Schedule(tm, o) }
+// ScheduleICCSS runs the IC-CSS+ baseline (§III-E). Degenerate designs
+// return a *DegenerateInputError.
+func ScheduleICCSS(tm *Timer, o ICCSSOptions) (*ICCSSResult, error) { return iccss.Schedule(tm, o) }
 
 // ScheduleFPM runs the FPM baseline (early violations only).
 func ScheduleFPM(tm *Timer, o FPMOptions) *FPMResult { return fpm.Schedule(tm, o) }

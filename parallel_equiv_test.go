@@ -214,7 +214,7 @@ func TestScheduleWorkersEquivalence(t *testing.T) {
 				if workers > 1 {
 					tm.SetWorkers(workers)
 				}
-				return core.Schedule(tm, core.Options{Mode: mode, Workers: workers})
+				return mustCoreSchedule(t, tm, core.Options{Mode: mode, Workers: workers})
 			}
 			r1, r8 := run(1), run(8)
 			if r1.Rounds != r8.Rounds || r1.Cycles != r8.Cycles || r1.EdgesExtracted != r8.EdgesExtracted {
@@ -231,7 +231,7 @@ func TestScheduleWorkersEquivalence(t *testing.T) {
 				if workers > 1 {
 					tm.SetWorkers(workers)
 				}
-				return iccss.Schedule(tm, iccss.Options{Mode: mode, Workers: workers})
+				return mustICCSSSchedule(t, tm, iccss.Options{Mode: mode, Workers: workers})
 			}
 			i1, i8 := runIC(1), runIC(8)
 			if i1.Rounds != i8.Rounds || i1.EdgesExtracted != i8.EdgesExtracted || i1.CriticalVerts != i8.CriticalVerts {
