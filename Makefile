@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench fuzz-smoke oracle-check
+.PHONY: ci vet build test race bench fuzz-smoke oracle-check obs-smoke
 
-ci: vet build test race fuzz-smoke oracle-check
+ci: vet build test race fuzz-smoke obs-smoke oracle-check
 
 vet:
 	$(GO) vet ./...
@@ -14,9 +14,9 @@ test:
 	$(GO) test ./...
 
 # The concurrency-bearing packages (worker-pool extraction, parallel
-# incremental propagation) must stay race-clean.
+# incremental propagation, the shared metrics recorder) must stay race-clean.
 race:
-	$(GO) test -race ./internal/timing ./internal/core
+	$(GO) test -race ./internal/timing ./internal/core ./internal/obs
 
 bench:
 	$(GO) test -bench 'ExtractEssentialBatch|IncrementalUpdate|CSRPropagation' -benchmem .
@@ -32,3 +32,27 @@ fuzz-smoke:
 # schedule checked against the independent LP oracle.
 oracle-check:
 	ORACLE_FUZZ_N=1000 $(GO) test ./internal/fuzz -run '^TestOracleAgreement$$' -v
+
+# End-to-end observability smoke: run cssbench with tracing and the live
+# debug server on a small bench, hit /debug/vars and /debug/pprof/ while it
+# runs, then assert the Chrome trace is well-formed with round + worker-task
+# span coverage.
+OBS_TMP ?= /tmp/iterskew-obs-smoke
+obs-smoke:
+	rm -rf $(OBS_TMP) && mkdir -p $(OBS_TMP)
+	$(GO) build -o $(OBS_TMP)/cssbench ./cmd/cssbench
+	$(OBS_TMP)/cssbench -scale 0.01 -workers 2 \
+	    -trace $(OBS_TMP)/trace.json -events $(OBS_TMP)/events.jsonl \
+	    -httpaddr 127.0.0.1:6878 > $(OBS_TMP)/stdout.txt 2>&1 & \
+	pid=$$!; vars=fail; pprof=fail; \
+	for i in $$(seq 1 100); do \
+	    if curl -sf http://127.0.0.1:6878/debug/vars | grep -q '"iterskew"'; then vars=ok; break; fi; \
+	    kill -0 $$pid 2>/dev/null || break; sleep 0.05; \
+	done; \
+	curl -sf http://127.0.0.1:6878/debug/pprof/ > /dev/null && pprof=ok; \
+	wait $$pid || { echo "obs-smoke: cssbench failed"; cat $(OBS_TMP)/stdout.txt; exit 1; }; \
+	test $$vars = ok || { echo "obs-smoke: /debug/vars never served live counters"; exit 1; }; \
+	test $$pprof = ok || { echo "obs-smoke: /debug/pprof/ not served"; exit 1; }; \
+	echo "obs-smoke: /debug/vars ok, /debug/pprof/ ok"
+	$(OBS_TMP)/cssbench -checktrace $(OBS_TMP)/trace.json
+	@test -s $(OBS_TMP)/events.jsonl && echo "obs-smoke: events.jsonl non-empty"

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -25,6 +26,7 @@ import (
 
 	"iterskew"
 	"iterskew/internal/delay"
+	"iterskew/internal/obs"
 	"iterskew/internal/timing"
 )
 
@@ -36,7 +38,50 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool width for batch extraction and incremental propagation")
 	jsonPath := flag.String("json", "", "write the Table-I rows plus extraction/propagation micro-timings to this JSON file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON file (load in chrome://tracing or Perfetto)")
+	eventsPath := flag.String("events", "", "write per-round JSONL events to this file")
+	httpAddr := flag.String("httpaddr", "", "serve net/http/pprof and expvar live counters on this address during the run")
+	progress := flag.Bool("progress", false, "print one line per scheduling round to stderr")
+	checkTrace := flag.String("checktrace", "", "validate a trace file written by -trace (round + worker span coverage) and exit")
 	flag.Parse()
+
+	if *checkTrace != "" {
+		if err := validateTrace(*checkTrace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var rec *iterskew.Recorder
+	if *tracePath != "" || *eventsPath != "" || *httpAddr != "" {
+		rec = iterskew.NewRecorder()
+	}
+	if *tracePath != "" {
+		rec.EnableTrace()
+	}
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		rec.EnableEvents(f)
+	}
+	if *httpAddr != "" {
+		srv, err := iterskew.StartDebugServer(*httpAddr, rec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/ (/debug/pprof/, /debug/vars)\n", srv.Addr)
+	}
+	var logW io.Writer
+	if *progress {
+		logW = os.Stderr
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -113,7 +158,8 @@ func main() {
 
 		var base *iterskew.FlowReport
 		for _, m := range methods {
-			rep, err := iterskew.RunFlow(d, iterskew.FlowConfig{Method: m, Workers: *workers})
+			rec.SetPhase(name + "/" + m.String())
+			rep, err := iterskew.RunFlow(d, iterskew.FlowConfig{Method: m, Workers: *workers, Recorder: rec, Log: logW})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -181,7 +227,20 @@ func main() {
 	fmt.Printf("  Total speedup Ours-Early vs FPM: %6.2fx\n", ratio(fpm.total.Seconds(), oursE.total.Seconds()))
 
 	if *jsonPath != "" {
-		writeJSON(*jsonPath, *scale, *workers, names[0], jrows)
+		writeJSON(*jsonPath, *scale, *workers, names[0], jrows, rec)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *tracePath)
 	}
 }
 
@@ -219,6 +278,10 @@ type benchJSON struct {
 	Note    string      `json:"note,omitempty"`
 	Rows    []rowJSON   `json:"rows"`
 	Micro   []microJSON `json:"micro"`
+	// Phases is the per-phase wall-time and allocation breakdown recorded
+	// during the table runs (present when -trace/-events/-httpaddr enabled
+	// a recorder).
+	Phases []iterskew.PhaseStat `json:"phases,omitempty"`
 }
 
 // measure times `iters` calls of fn and derives allocs/op from the runtime
@@ -247,7 +310,7 @@ func measure(name string, workersUsed, iters int, metricName string, fn func() f
 // writeJSON records the Table-I rows plus extraction/propagation
 // micro-timings on the first design, at one worker and at the requested
 // width, so the hot paths are tracked alongside the QoR table.
-func writeJSON(path string, scale float64, workers int, design string, rows []rowJSON) {
+func writeJSON(path string, scale float64, workers int, design string, rows []rowJSON, rec *iterskew.Recorder) {
 	p, err := iterskew.SuperblueProfile(strings.TrimSpace(design), scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -265,6 +328,9 @@ func writeJSON(path string, scale float64, workers int, design string, rows []ro
 	}
 
 	out := benchJSON{Scale: scale, Workers: workers, CPUs: runtime.GOMAXPROCS(0), Rows: rows}
+	if rec != nil {
+		out.Phases = rec.Phases()
+	}
 	if out.CPUs == 1 {
 		out.Note = "single-CPU host: worker widths > 1 measure pool overhead only; " +
 			"results are bit-identical at any width, compare widths on a multi-core host"
@@ -319,6 +385,31 @@ func writeJSON(path string, scale float64, workers int, design string, rows []ro
 		os.Exit(1)
 	}
 	fmt.Printf("\nwrote %s (%d rows, %d micro-timings)\n", path, len(rows), len(out.Micro))
+}
+
+// validateTrace decodes a -trace output file and asserts the coverage the
+// obs-smoke CI target relies on: a well-formed Chrome trace envelope with
+// spans for the scheduling rounds and the extraction worker tasks.
+func validateTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tf, err := obs.DecodeTrace(f)
+	if err != nil {
+		return err
+	}
+	rounds := tf.SpanCount("css.round")
+	workers := tf.SpanCount("extract.worker")
+	scheds := tf.SpanCount("css.schedule")
+	if rounds == 0 || workers == 0 || scheds == 0 {
+		return fmt.Errorf("checktrace %s: want >=1 of each span, got css.round=%d extract.worker=%d css.schedule=%d",
+			path, rounds, workers, scheds)
+	}
+	fmt.Printf("%s ok: %d events, css.schedule=%d css.round=%d extract.worker=%d\n",
+		path, len(tf.TraceEvents), scheds, rounds, workers)
+	return nil
 }
 
 func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }

@@ -3,8 +3,14 @@
 // physical optimization, late CSS iterations, late optimization — printed as
 // a TSV series (phase, step, WNS, TNS) ready for plotting.
 //
+// With -events it plots the trajectory from a JSONL event stream written by
+// `cssbench -events` (or any run with Recorder.EnableEvents) instead of
+// running the flow itself. The decoder tolerates a torn final line, so it
+// works on the event file of a run that is still in progress.
+//
 //	go run ./cmd/iterplot
 //	go run ./cmd/iterplot -design superblue5 -scale 0.02
+//	go run ./cmd/iterplot -events run.jsonl
 package main
 
 import (
@@ -13,42 +19,53 @@ import (
 	"os"
 
 	"iterskew"
+	"iterskew/internal/obs"
 )
+
+// point is one plotted trajectory step, from either source.
+type point struct {
+	Phase string
+	Step  int
+	Mode  string
+	WNS   float64
+	TNS   float64
+}
 
 func main() {
 	design := flag.String("design", "superblue18", "benchmark to trace (Fig 8 uses superblue18)")
 	scale := flag.Float64("scale", 0.01, "linear shrink on contest flip-flop counts")
+	events := flag.String("events", "", "plot from this JSONL event file instead of running the flow")
 	flag.Parse()
 
-	p, err := iterskew.SuperblueProfile(*design, *scale)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	d, err := iterskew.GenerateBenchmark(p)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var pts []point
+	var header string
+	if *events != "" {
+		var err error
+		pts, err = readEvents(*events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		header = fmt.Sprintf("# Fig 8 trajectory from event stream %s", *events)
+	} else {
+		var err error
+		pts, header, err = runFlow(*design, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
-	rep, err := iterskew.RunFlow(d, iterskew.FlowConfig{Method: iterskew.Ours})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-
-	fmt.Printf("# Fig 8 reproduction: %s (scale %g), method Ours\n", *design, *scale)
-	fmt.Printf("# input : %s\n", rep.Input)
-	fmt.Printf("# final : %s\n", rep.Final)
+	fmt.Println(header)
 	fmt.Printf("%-12s %5s %6s %12s %14s\n", "phase", "step", "mode", "WNS(ps)", "TNS(ps)")
-	for _, pt := range rep.Trajectory {
+	for _, pt := range pts {
 		fmt.Printf("%-12s %5d %6s %12.2f %14.2f\n", pt.Phase, pt.Step, pt.Mode, pt.WNS, pt.TNS)
 	}
 
 	// ASCII sketch of the mode-specific TNS per phase, Fig-8 style.
 	fmt.Println("\n# TNS trajectory (phase-mode series, normalized bars)")
 	var worst float64
-	for _, pt := range rep.Trajectory {
+	for _, pt := range pts {
 		if pt.TNS < worst {
 			worst = pt.TNS
 		}
@@ -56,7 +73,7 @@ func main() {
 	if worst == 0 {
 		worst = -1
 	}
-	for _, pt := range rep.Trajectory {
+	for _, pt := range pts {
 		n := int(pt.TNS / worst * 50)
 		bar := make([]byte, n)
 		for i := range bar {
@@ -64,4 +81,54 @@ func main() {
 		}
 		fmt.Printf("%-12s %-6s |%s (%.1f)\n", pt.Phase, pt.Mode, bar, pt.TNS)
 	}
+}
+
+// readEvents builds the trajectory from "round" and "phase" records of a
+// JSONL event stream.
+func readEvents(path string) ([]point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var pts []point
+	err = obs.DecodeEvents(f, func(ev obs.Event) {
+		switch ev.Type {
+		case "round":
+			pts = append(pts, point{Phase: ev.Phase, Step: ev.Round, Mode: ev.Mode, WNS: ev.WNS, TNS: ev.TNS})
+		case "phase":
+			pts = append(pts, point{Phase: ev.Phase, Mode: ev.Mode, WNS: ev.WNS, TNS: ev.TNS})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("iterplot: no round events in %s", path)
+	}
+	return pts, nil
+}
+
+// runFlow is the fallback when no event stream is given: run the flow and
+// plot Result.PerIter (via Report.Trajectory), as the original Fig 8 does.
+func runFlow(design string, scale float64) ([]point, string, error) {
+	p, err := iterskew.SuperblueProfile(design, scale)
+	if err != nil {
+		return nil, "", err
+	}
+	d, err := iterskew.GenerateBenchmark(p)
+	if err != nil {
+		return nil, "", err
+	}
+	rep, err := iterskew.RunFlow(d, iterskew.FlowConfig{Method: iterskew.Ours})
+	if err != nil {
+		return nil, "", err
+	}
+	header := fmt.Sprintf("# Fig 8 reproduction: %s (scale %g), method Ours\n# input : %s\n# final : %s",
+		design, scale, rep.Input, rep.Final)
+	var pts []point
+	for _, pt := range rep.Trajectory {
+		pts = append(pts, point{Phase: pt.Phase, Step: pt.Step, Mode: pt.Mode.String(), WNS: pt.WNS, TNS: pt.TNS})
+	}
+	return pts, header, nil
 }

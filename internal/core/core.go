@@ -21,10 +21,12 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"time"
 
 	"iterskew/internal/netlist"
+	"iterskew/internal/obs"
 	"iterskew/internal/seqgraph"
 	"iterskew/internal/timing"
 )
@@ -109,6 +111,18 @@ type Options struct {
 	// timing.Timer.SetWorkers); negative means GOMAXPROCS. Results are
 	// identical at any width.
 	Workers int
+	// Recorder optionally instruments the run: round spans, extraction and
+	// clamp counters, and per-round JSONL events (see internal/obs). nil
+	// falls back to the timer's installed recorder; if that is nil too, the
+	// instrumented paths cost a nil check and nothing else.
+	Recorder *obs.Recorder
+	// Progress, when non-nil, is called after every round with that round's
+	// IterStats — a live trajectory hook that works without a Recorder.
+	Progress func(IterStats)
+	// Log, when non-nil, receives a one-line progress record per round plus
+	// an explanation line for every termination decision (stall guard,
+	// convergence, round cap), so StallRounds stops are explainable.
+	Log io.Writer
 }
 
 // IterStats records one iteration for the Fig-8 style trajectory.
@@ -120,6 +134,7 @@ type IterStats struct {
 	CycleLen  int     // >0 if this round handled a cycle
 	MaxInc    float64 // largest latency increment this round
 	TimerPins int     // pins re-propagated by the incremental update
+	Clamped   int     // vertices whose Eq-14 need was clamped by l^max (Eq 11)
 }
 
 // CycleFix records one Eq-9 cycle assignment: the cycle's vertices in cycle
@@ -178,6 +193,16 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 	if opts.MaxRounds == 0 {
 		opts.MaxRounds = 200
 	}
+	rec := opts.Recorder
+	if rec == nil {
+		rec = tm.Recorder()
+	}
+	runSp := rec.StartSpan(obs.SpanSchedule)
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+		}
+	}
 	d := tm.D
 	g := seqgraph.New()
 	isPort := func(c netlist.CellID) bool { return isPortCell(d, c) }
@@ -193,6 +218,7 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 	var edgeBuf []timing.SeqEdge
 
 	extract := func(force bool) int {
+		esp := rec.StartSpan(obs.SpanRoundExtract)
 		if opts.Margin > 0 {
 			// §V amplification: treat endpoints within the margin as
 			// violated, so near-critical edges (e.g. the remaining arcs of
@@ -224,7 +250,35 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 				added++
 			}
 		}
+		esp.EndArg2("traced", int64(len(traceBuf)), "added", int64(added))
 		return added
+	}
+
+	// emitRound folds one finished round into the recorder (counters, JSONL
+	// event, live gauges) and fires the Progress callback. All of it no-ops
+	// without a recorder except Progress, which works standalone.
+	emitRound := func(st IterStats, stall int) {
+		if rec != nil {
+			rec.Add(obs.CtrRounds, 1)
+			rec.Add(obs.CtrRoundEdges, int64(st.NewEdges))
+			rec.Add(obs.CtrRaised, int64(st.Raised))
+			rec.Add(obs.CtrClampsEq11, int64(st.Clamped))
+			if st.CycleLen > 0 {
+				rec.Add(obs.CtrCyclesFrozen, 1)
+			}
+			rec.SetGauge(obs.GaugeGraphVerts, int64(g.NumVertices()))
+			rec.SetGauge(obs.GaugeGraphEdges, int64(len(g.Edges)))
+			rec.Emit(obs.Event{
+				Type: "round", Algo: "core", Mode: opts.Mode.String(),
+				Round: st.Round, WNS: st.WNS, TNS: st.TNS,
+				NewEdges: st.NewEdges, Raised: st.Raised, CycleLen: st.CycleLen,
+				MaxInc: st.MaxInc, TimerPins: st.TimerPins, Stall: stall,
+				ElapsedMS: float64(time.Since(start).Nanoseconds()) / 1e6,
+			})
+		}
+		if opts.Progress != nil {
+			opts.Progress(st)
+		}
 	}
 
 	// Eq-5 lower bounds: pre-apply the mandated minimum latencies so the
@@ -251,6 +305,7 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 
 	finalSweepDone := false
 	for round := 0; round < opts.MaxRounds; round++ {
+		roundSp := rec.StartSpan(obs.SpanRound)
 		newEdges := extract(false)
 
 		// Current weights (Eq 10 realized by re-evaluating Eq 1–2 under the
@@ -267,6 +322,7 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 		// into it. Slacks beyond the band drop out.
 		essential := func(eid int32) bool { return w[eid] < opts.Margin+eps }
 
+		fsp := rec.StartSpan(obs.SpanRoundForest)
 		forest, cyc := g.BuildForest(w, essential, math.Inf(1))
 
 		st := IterStats{Round: round, NewEdges: newEdges}
@@ -280,6 +336,7 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 			// is negative can never be fully scheduled away (§III-B2).
 			cyc = g.NegativeMeanCycle(w, activeCycleEdges(g, essential), eps)
 		}
+		fsp.End()
 
 		if cyc != nil {
 			// §III-B2: the cycle bounds the achievable improvement at its
@@ -332,12 +389,24 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 			res.PerIter = append(res.PerIter, st)
 			res.Rounds = round + 1
 			_ = changed
+			rec.Instant("css.cycle_frozen", "len", int64(st.CycleLen))
+			emitRound(st, stall)
+			logf("css[%v] round %d: cycle of %d frozen (mean %.3f) wns=%.2f tns=%.2f pins=%d",
+				opts.Mode, round, st.CycleLen, tMean, st.WNS, st.TNS, st.TimerPins)
+			roundSp.EndArg2("round", int64(round), "cycle_len", int64(st.CycleLen))
 			continue
 		}
 
+		psp := rec.StartSpan(obs.SpanRoundPasses)
 		head := HeadroomFunc(tm, g, opts, res.Target)
 		lmax := PassOne(g, forest, w, essential, head)
-		inc, _ := PassTwo(g, forest, w, essential, lmax)
+		inc, capped := PassTwo(g, forest, w, essential, lmax)
+		for _, c := range capped {
+			if c {
+				st.Clamped++
+			}
+		}
+		psp.End()
 
 		// Apply increments.
 		maxInc := 0.0
@@ -359,15 +428,25 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 		res.PerIter = append(res.PerIter, st)
 		res.Rounds = round + 1
 
+		gain := math.Inf(1)
 		if opts.StallRounds > 0 {
-			gain := st.TNS - prevTNS
+			gain = st.TNS - prevTNS
 			if gain < math.Max(1, 1e-4*math.Abs(st.TNS)) {
 				stall++
-				if stall >= opts.StallRounds {
-					break
-				}
 			} else {
 				stall = 0
+			}
+		}
+		emitRound(st, stall)
+		logf("css[%v] round %d: wns=%.2f tns=%.2f edges+%d raised=%d clamped=%d maxInc=%.3f pins=%d gain=%.3f stall=%d/%d",
+			opts.Mode, round, st.WNS, st.TNS, st.NewEdges, st.Raised, st.Clamped,
+			st.MaxInc, st.TimerPins, gain, stall, opts.StallRounds)
+		roundSp.EndArg2("round", int64(round), "raised", int64(st.Raised))
+		if opts.StallRounds > 0 {
+			if stall >= opts.StallRounds {
+				logf("css[%v] stall guard: %d consecutive rounds with TNS gain < max(1, 0.01%%·|TNS|) — stopping at round %d (StallRounds=%d)",
+					opts.Mode, stall, round, opts.StallRounds)
+				break
 			}
 			prevTNS = st.TNS
 		}
@@ -378,20 +457,27 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 			// have newly crossed zero without moving any endpoint's worst
 			// slack (so the "newly violated" filter skipped it).
 			if finalSweepDone {
+				logf("css[%v] converged: no increments after forced sweep — stopping at round %d", opts.Mode, round)
 				break
 			}
 			finalSweepDone = true
 			if extra := extract(true); extra == 0 {
+				logf("css[%v] converged: no increments and no new essential edges — stopping at round %d", opts.Mode, round)
 				break
 			}
 			// New essential edges appeared: keep iterating.
+			logf("css[%v] forced sweep found new essential edges — continuing", opts.Mode)
 			continue
 		}
 		finalSweepDone = false
 	}
+	if res.Rounds == opts.MaxRounds {
+		logf("css[%v] stopping: round cap reached (MaxRounds=%d)", opts.Mode, opts.MaxRounds)
+	}
 
 	res.EdgesExtracted = len(g.Edges)
 	res.Elapsed = time.Since(start)
+	runSp.EndArg2("rounds", int64(res.Rounds), "edges", int64(res.EdgesExtracted))
 	return res, nil
 }
 

@@ -9,6 +9,7 @@ package flow
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"iterskew/internal/core"
@@ -17,6 +18,7 @@ import (
 	"iterskew/internal/fpm"
 	"iterskew/internal/iccss"
 	"iterskew/internal/netlist"
+	"iterskew/internal/obs"
 	"iterskew/internal/opt"
 	"iterskew/internal/timing"
 )
@@ -68,6 +70,13 @@ type Config struct {
 	// and batch extraction. 0 leaves the timer serial; negative means
 	// GOMAXPROCS. Results are identical at any width.
 	Workers int
+	// Recorder optionally instruments the run: it is installed on the timer
+	// (so every scheduler and extraction call reports into it) and receives
+	// per-phase wall-time/allocation accounting plus run/phase events.
+	Recorder *obs.Recorder
+	// Log, when non-nil, receives one human-readable progress line per
+	// scheduling round (threaded into core.Options.Log).
+	Log io.Writer
 }
 
 // TrajPoint is one step of the Fig-8 trajectory.
@@ -114,6 +123,15 @@ func Run(input *netlist.Design, cfg Config) (*Report, error) {
 	if cfg.Workers != 0 {
 		tm.SetWorkers(cfg.Workers)
 	}
+	rec := cfg.Recorder
+	if rec != nil {
+		tm.SetRecorder(rec)
+		rec.Emit(obs.Event{
+			Type:   "run",
+			Method: cfg.Method.String(),
+			Design: fmt.Sprintf("%d cells / %d nets", len(input.Cells), len(input.Nets)),
+		})
+	}
 	rep := &Report{Method: cfg.Method}
 	rep.Input = eval.Measure(tm)
 	edges0 := tm.Stats.ExtractedEdges
@@ -125,7 +143,9 @@ func Run(input *netlist.Design, cfg Config) (*Report, error) {
 
 	case FPM:
 		t0 := time.Now()
+		done := rec.PhaseSpan("fpm-css")
 		fpm.Schedule(tm, fpm.Options{})
+		done()
 		rep.CSSTime = time.Since(t0)
 		// FPM is a predictive placement-stage methodology: its skews are
 		// assumed realized by downstream CTS, so it is evaluated with the
@@ -146,7 +166,9 @@ func Run(input *netlist.Design, cfg Config) (*Report, error) {
 		}
 		if cfg.EnableSizing {
 			t0 := time.Now()
+			done := rec.PhaseSpan("sizing")
 			opt.ResizeCells(tm, cfg.Resize)
+			done()
 			rep.OptTime += time.Since(t0)
 		}
 
@@ -168,6 +190,7 @@ func Run(input *netlist.Design, cfg Config) (*Report, error) {
 // two parts separately and recording the trajectory.
 func runStage(tm *timing.Timer, rep *Report, cfg Config, mode timing.Mode, phase string) error {
 	t0 := time.Now()
+	done := cfg.Recorder.PhaseSpan(phase + "-css")
 	var targets map[netlist.CellID]float64
 	switch cfg.Method {
 	case ICCSSPlus:
@@ -178,7 +201,7 @@ func runStage(tm *timing.Timer, rep *Report, cfg Config, mode timing.Mode, phase
 		rep.Rounds += res.Rounds
 		targets = res.Target
 	default:
-		res, err := core.Schedule(tm, core.Options{Mode: mode, MaxRounds: cfg.MaxRounds, Margin: cfg.Margin, Workers: cfg.Workers})
+		res, err := core.Schedule(tm, core.Options{Mode: mode, MaxRounds: cfg.MaxRounds, Margin: cfg.Margin, Workers: cfg.Workers, Log: cfg.Log})
 		if err != nil {
 			return err
 		}
@@ -190,6 +213,7 @@ func runStage(tm *timing.Timer, rep *Report, cfg Config, mode timing.Mode, phase
 			})
 		}
 	}
+	done()
 	rep.CSSTime += time.Since(t0)
 
 	rep.applyOpt(tm, targets, cfg, phase)
@@ -200,7 +224,9 @@ func runStage(tm *timing.Timer, rep *Report, cfg Config, mode timing.Mode, phase
 // trajectory point.
 func (rep *Report) applyOpt(tm *timing.Timer, targets map[netlist.CellID]float64, cfg Config, phase string) {
 	t0 := time.Now()
+	done := cfg.Recorder.PhaseSpan(phase + "-opt")
 	opt.Optimize(tm, targets, opt.Options{Reconnect: cfg.Reconnect, Move: cfg.Move})
+	done()
 	rep.OptTime += time.Since(t0)
 	we, te := tm.WNSTNS(timing.Early)
 	wl, tl := tm.WNSTNS(timing.Late)
@@ -208,4 +234,10 @@ func (rep *Report) applyOpt(tm *timing.Timer, targets map[netlist.CellID]float64
 		TrajPoint{Phase: phase + "-opt", Mode: timing.Early, WNS: we, TNS: te},
 		TrajPoint{Phase: phase + "-opt", Mode: timing.Late, WNS: wl, TNS: tl},
 	)
+	if cfg.Recorder != nil {
+		cfg.Recorder.Emit(obs.Event{
+			Type: "phase", Phase: phase + "-opt",
+			WNS: we, TNS: te,
+		})
+	}
 }

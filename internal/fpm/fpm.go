@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"iterskew/internal/netlist"
+	"iterskew/internal/obs"
 	"iterskew/internal/seqgraph"
 	"iterskew/internal/timing"
 )
@@ -31,6 +32,9 @@ const eps = 1e-6
 type Options struct {
 	// LatencyUB optionally bounds the predictive latency per flip-flop.
 	LatencyUB func(ff netlist.CellID) float64
+	// Recorder optionally instruments the run (extraction/greedy-pass spans
+	// and edge counters). nil falls back to the timer's installed recorder.
+	Recorder *obs.Recorder
 }
 
 // Result reports what FPM did.
@@ -45,6 +49,11 @@ type Result struct {
 // predictive skew pass. Latencies are left applied on the timer.
 func Schedule(tm *timing.Timer, opts Options) *Result {
 	start := time.Now()
+	rec := opts.Recorder
+	if rec == nil {
+		rec = tm.Recorder()
+	}
+	runSp := rec.StartSpan(obs.SpanSchedule)
 	d := tm.D
 	g := seqgraph.New()
 	isPort := func(c netlist.CellID) bool {
@@ -54,6 +63,7 @@ func Schedule(tm *timing.Timer, opts Options) *Result {
 	res := &Result{Target: map[netlist.CellID]float64{}, Graph: g}
 
 	// Full sequential graph extraction: every early edge of the design.
+	esp := rec.NamedSpan("fpm.full_extract")
 	var edgeBuf []timing.SeqEdge
 	var launches []netlist.CellID
 	launches = append(launches, d.FFs...)
@@ -65,6 +75,9 @@ func Schedule(tm *timing.Timer, opts Options) *Result {
 		}
 	}
 	res.EdgesExtracted = len(g.Edges)
+	rec.Add(obs.CtrRoundEdges, int64(len(g.Edges)))
+	esp.EndArg2("launches", int64(len(launches)), "edges", int64(len(g.Edges)))
+	gsp := rec.NamedSpan("fpm.greedy")
 
 	// One-time late-slack snapshot bounds the launch raises.
 	bound := map[netlist.CellID]float64{}
@@ -129,6 +142,7 @@ func Schedule(tm *timing.Timer, opts Options) *Result {
 		}
 	}
 
+	raised := 0
 	for cell, l := range assigned {
 		if l <= eps {
 			continue
@@ -138,9 +152,13 @@ func Schedule(tm *timing.Timer, opts Options) *Result {
 		}
 		tm.AddExtraLatency(cell, l)
 		res.Target[cell] = l
+		raised++
 	}
 	tm.Update()
+	rec.Add(obs.CtrRaised, int64(raised))
+	gsp.EndArg2("violations", int64(len(cands)), "raised", int64(raised))
 
 	res.Elapsed = time.Since(start)
+	runSp.EndArg("edges", int64(res.EdgesExtracted))
 	return res
 }

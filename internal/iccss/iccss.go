@@ -24,6 +24,7 @@ import (
 
 	"iterskew/internal/core"
 	"iterskew/internal/netlist"
+	"iterskew/internal/obs"
 	"iterskew/internal/seqgraph"
 	"iterskew/internal/timing"
 )
@@ -40,6 +41,10 @@ type Options struct {
 	// batches (IC-CSS+'s dominant cost). 0 keeps the timer's configured
 	// width; negative means GOMAXPROCS. Results are identical at any width.
 	Workers int
+	// Recorder optionally instruments the run (round spans, critical-vertex
+	// and constraint-extraction counters, per-round events). nil falls back
+	// to the timer's installed recorder.
+	Recorder *obs.Recorder
 }
 
 // Result mirrors core.Result for the comparison harness.
@@ -67,6 +72,11 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 	if opts.MaxRounds == 0 {
 		opts.MaxRounds = 200
 	}
+	rec := opts.Recorder
+	if rec == nil {
+		rec = tm.Recorder()
+	}
+	runSp := rec.StartSpan(obs.SpanSchedule)
 	d := tm.D
 	g := seqgraph.New()
 	isPort := func(c netlist.CellID) bool {
@@ -186,6 +196,7 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 			edgeBuf = tm.ExtractAllIntoBatch(critBuf, timing.Early, opts.Workers, edgeBuf[:0])
 		}
 		res.CriticalVerts += len(critBuf)
+		rec.Add(obs.CtrCriticalVerts, int64(len(critBuf)))
 		added := 0
 		for _, se := range edgeBuf {
 			if _, isNew := g.AddSeqEdge(se, isPort); isNew {
@@ -207,6 +218,7 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 		}
 		constraintDone[cell] = true
 		res.ConstraintExts++
+		rec.Add(obs.CtrConstraintExts, 1)
 		added := 0
 		if opp == timing.Early {
 			// Bound on a capture raise: early edges ending at the vertex.
@@ -264,7 +276,31 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 		return h
 	}
 
+	// emitRound folds one finished round into the recorder; the WNS/TNS
+	// sweep only runs when a recorder is installed.
+	emitRound := func(round, newEdges, raised, cycleLen int) {
+		if rec == nil {
+			return
+		}
+		rec.Add(obs.CtrRounds, 1)
+		rec.Add(obs.CtrRoundEdges, int64(newEdges))
+		rec.Add(obs.CtrRaised, int64(raised))
+		if cycleLen > 0 {
+			rec.Add(obs.CtrCyclesFrozen, 1)
+		}
+		rec.SetGauge(obs.GaugeGraphVerts, int64(g.NumVertices()))
+		rec.SetGauge(obs.GaugeGraphEdges, int64(len(g.Edges)))
+		wns, tns := tm.WNSTNS(opts.Mode)
+		rec.Emit(obs.Event{
+			Type: "round", Algo: "iccss", Mode: opts.Mode.String(),
+			Round: round, WNS: wns, TNS: tns,
+			NewEdges: newEdges, Raised: raised, CycleLen: cycleLen,
+			ElapsedMS: float64(time.Since(start).Nanoseconds()) / 1e6,
+		})
+	}
+
 	for round := 0; round < opts.MaxRounds; round++ {
+		roundSp := rec.StartSpan(obs.SpanRound)
 		newEdges := extractCritical()
 
 		w := make([]float64, len(g.Edges))
@@ -303,16 +339,20 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 					minL = lat[i]
 				}
 			}
+			raised := 0
 			for i, v := range cyc.Vertices {
 				g.Freeze(v)
 				if l := lat[i] - minL; l > eps && !g.IsPort[v] {
 					cell := g.Cells[v]
 					tm.AddExtraLatency(cell, l)
 					res.Target[cell] += l
+					raised++
 				}
 			}
 			tm.Update()
 			res.Rounds = round + 1
+			emitRound(round, newEdges, raised, len(cyc.Vertices))
+			roundSp.EndArg2("round", int64(round), "cycle_len", int64(len(cyc.Vertices)))
 			continue
 		}
 
@@ -353,6 +393,7 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 		}
 
 		maxInc := 0.0
+		raised := 0
 		for v, l := range inc {
 			if l <= eps || g.Frozen[v] || g.IsPort[v] {
 				continue
@@ -360,12 +401,15 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 			cell := g.Cells[seqgraph.VertexID(v)]
 			tm.AddExtraLatency(cell, l)
 			res.Target[cell] += l
+			raised++
 			if l > maxInc {
 				maxInc = l
 			}
 		}
 		tm.Update()
 		res.Rounds = round + 1
+		emitRound(round, newEdges, raised, 0)
+		roundSp.EndArg2("round", int64(round), "raised", int64(raised))
 
 		if maxInc <= eps && newEdges == 0 && constraintAdded == 0 {
 			break
@@ -374,5 +418,6 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 
 	res.EdgesExtracted = len(g.Edges)
 	res.Elapsed = time.Since(start)
+	runSp.EndArg2("rounds", int64(res.Rounds), "edges", int64(res.EdgesExtracted))
 	return res, nil
 }

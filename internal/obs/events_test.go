@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestEventsRoundTrip writes a small stream and reads it back.
+func TestEventsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder().EnableEvents(&buf)
+	r.Emit(Event{Type: "run", Method: "Ours", Design: "sb18"})
+	r.SetPhase("late-css")
+	r.Emit(Event{Type: "round", Round: 1, WNS: -670.5, TNS: -8101.5, NewEdges: 4})
+	r.Emit(Event{Type: "round", Phase: "explicit", Round: 2})
+
+	var got []Event
+	if err := DecodeEvents(&buf, func(ev Event) { got = append(got, ev) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("decoded %d events, want 3", len(got))
+	}
+	if got[0].Type != "run" || got[0].Method != "Ours" {
+		t.Fatalf("run event = %+v", got[0])
+	}
+	// Emit stamps the recorder's phase when the event has none...
+	if got[1].Phase != "late-css" || got[1].WNS != -670.5 || got[1].NewEdges != 4 {
+		t.Fatalf("round event = %+v", got[1])
+	}
+	// ...but an explicit phase wins.
+	if got[2].Phase != "explicit" {
+		t.Fatalf("explicit phase overwritten: %+v", got[2])
+	}
+}
+
+// TestDecodeEventsTornFinalLine: a live run's in-flight write must not fail
+// the decode, while corruption earlier in the stream must.
+func TestDecodeEventsTornFinalLine(t *testing.T) {
+	torn := `{"type":"round","round":1}` + "\n" + `{"type":"rou`
+	var n int
+	if err := DecodeEvents(strings.NewReader(torn), func(Event) { n++ }); err != nil {
+		t.Fatalf("torn final line: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("decoded %d events, want 1", n)
+	}
+
+	corrupt := `{"type":"rou` + "\n" + `{"type":"round","round":2}` + "\n"
+	if err := DecodeEvents(strings.NewReader(corrupt), func(Event) {}); err == nil {
+		t.Fatal("mid-stream corruption should error")
+	}
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Thin wrappers so the metric code reads uniformly; all metric storage is
+// plain int64 updated through sync/atomic.
+func atomicAdd(p *int64, d int64)   { atomic.AddInt64(p, d) }
+func atomicLoad(p *int64) int64     { return atomic.LoadInt64(p) }
+func atomicStore(p *int64, v int64) { atomic.StoreInt64(p, v) }
+
+// histBuckets is the bucket count of the duration histograms: bucket i holds
+// observations with floor(log2(µs))+1 == i, i.e. bucket 0 is < 1µs, bucket 1
+// is [1µs, 2µs), bucket 2 is [2µs, 4µs), ... — 40 buckets reach ~2^39µs
+// (≈ 6 days), far beyond any span this repo times.
+const histBuckets = 40
+
+// Histogram is a lock-free exponential-bucket duration histogram. The zero
+// value is ready to use; Observe and Snapshot may race freely (snapshots are
+// per-field consistent, not cross-field atomic — fine for monitoring).
+type Histogram struct {
+	count  int64
+	sumNs  int64
+	bucket [histBuckets]int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	atomic.AddInt64(&h.count, 1)
+	atomic.AddInt64(&h.sumNs, int64(d))
+	i := bits.Len64(uint64(d / time.Microsecond))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	atomic.AddInt64(&h.bucket[i], 1)
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram.
+type HistSnapshot struct {
+	Count  int64
+	SumNs  int64
+	Bucket [histBuckets]int64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = atomic.LoadInt64(&h.count)
+	s.SumNs = atomic.LoadInt64(&h.sumNs)
+	for i := range s.Bucket {
+		s.Bucket[i] = atomic.LoadInt64(&h.bucket[i])
+	}
+	return s
+}
+
+// AvgUs returns the mean observation in microseconds (0 when empty).
+func (s HistSnapshot) AvgUs() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNs) / float64(s.Count) / 1e3
+}
+
+// QuantileUs returns an upper bound (the containing bucket's top edge) for
+// the q-quantile in microseconds, 0 <= q <= 1.
+func (s HistSnapshot) QuantileUs(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(s.Count))
+	if target >= s.Count {
+		target = s.Count - 1
+	}
+	var seen int64
+	for i, c := range s.Bucket {
+		seen += c
+		if seen > target {
+			if i == 0 {
+				return 1
+			}
+			return float64(uint64(1) << uint(i)) // top edge of bucket i, in µs
+		}
+	}
+	return float64(uint64(1) << uint(histBuckets))
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestDebugServer starts the diagnostics server on an ephemeral port and
+// checks the pprof index and the expvar page (including the recorder's live
+// counters under the "iterskew" key).
+func TestDebugServer(t *testing.T) {
+	r := NewRecorder()
+	r.Add(CtrRounds, 11)
+	ds, err := StartDebugServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + ds.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	if body := get("/debug/pprof/"); len(body) == 0 {
+		t.Fatal("empty pprof index")
+	}
+	var vars struct {
+		Iterskew map[string]any `json:"iterskew"`
+	}
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("expvar page not JSON: %v", err)
+	}
+	if got := vars.Iterskew["counter.rounds"]; got != float64(11) {
+		t.Fatalf("expvar counter.rounds = %v, want 11", got)
+	}
+
+	// A second server re-points the process-global expvar key at the newer
+	// recorder rather than panicking on duplicate publication.
+	r2 := NewRecorder()
+	r2.Add(CtrRounds, 99)
+	ds2, err := StartDebugServer("127.0.0.1:0", r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Close()
+	resp, err := http.Get("http://" + ds2.Addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatal(err)
+	}
+	if got := vars.Iterskew["counter.rounds"]; got != float64(99) {
+		t.Fatalf("expvar after re-point = %v, want 99", got)
+	}
+}

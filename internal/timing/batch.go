@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"iterskew/internal/netlist"
+	"iterskew/internal/obs"
 )
 
 // Parallel batch extraction (§III-B at scale): violated endpoints are
@@ -103,18 +104,22 @@ func (t *Timer) runBatch(n, workers int, dst []SeqEdge, trace func(w *extractWor
 	var wg sync.WaitGroup
 	for wi := range ws {
 		wg.Add(1)
-		go func(w *extractWorker) {
+		go func(w *extractWorker, tid int32) {
 			defer wg.Done()
+			wsp := t.rec.WorkerSpan(obs.SpanExtractWorker, tid)
+			roots := int64(0)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
+					wsp.EndArg("roots", roots)
 					return
 				}
+				roots++
 				lo := int32(len(w.buf))
 				trace(w, i)
 				w.spans = append(w.spans, span{idx: int32(i), lo: lo, hi: int32(len(w.buf))})
 			}
-		}(&ws[wi])
+		}(&ws[wi], int32(wi)+1)
 	}
 	wg.Wait()
 
@@ -140,43 +145,71 @@ func (t *Timer) runBatch(n, workers int, dst []SeqEdge, trace func(w *extractWor
 // endpoint order.
 func (t *Timer) ExtractEssentialBatch(endpoints []EndpointID, m Mode, margin float64, workers int, dst []SeqEdge) []SeqEdge {
 	workers = t.batchWorkers(workers, len(endpoints))
+	sp, len0 := t.rec.StartSpan(obs.SpanExtractBatch), len(dst)
 	if workers <= 1 || len(endpoints) < 2 {
+		wsp := t.rec.WorkerSpan(obs.SpanExtractWorker, 0)
 		for _, e := range endpoints {
 			dst = t.extractEssential(&t.trace, &t.Stats, e, m, margin, dst)
 		}
+		wsp.EndArg("roots", int64(len(endpoints)))
+		t.finishBatch(sp, len(endpoints), len(dst)-len0)
 		return dst
 	}
-	return t.runBatch(len(endpoints), workers, dst, func(w *extractWorker, i int) {
+	dst = t.runBatch(len(endpoints), workers, dst, func(w *extractWorker, i int) {
 		w.buf = t.extractEssential(&w.st, &w.cnt, endpoints[i], m, margin, w.buf)
 	})
+	t.finishBatch(sp, len(endpoints), len(dst)-len0)
+	return dst
 }
 
 // ExtractAllFromBatch runs ExtractAllFrom for every launch vertex in order
 // with the same worker-pool semantics as ExtractEssentialBatch.
 func (t *Timer) ExtractAllFromBatch(launches []netlist.CellID, m Mode, workers int, dst []SeqEdge) []SeqEdge {
 	workers = t.batchWorkers(workers, len(launches))
+	sp, len0 := t.rec.StartSpan(obs.SpanExtractBatch), len(dst)
 	if workers <= 1 || len(launches) < 2 {
+		wsp := t.rec.WorkerSpan(obs.SpanExtractWorker, 0)
 		for _, c := range launches {
 			dst = t.extractAllFrom(&t.trace, &t.Stats, c, m, dst)
 		}
+		wsp.EndArg("roots", int64(len(launches)))
+		t.finishBatch(sp, len(launches), len(dst)-len0)
 		return dst
 	}
-	return t.runBatch(len(launches), workers, dst, func(w *extractWorker, i int) {
+	dst = t.runBatch(len(launches), workers, dst, func(w *extractWorker, i int) {
 		w.buf = t.extractAllFrom(&w.st, &w.cnt, launches[i], m, w.buf)
 	})
+	t.finishBatch(sp, len(launches), len(dst)-len0)
+	return dst
 }
 
 // ExtractAllIntoBatch runs ExtractAllInto for every capture vertex in order
 // with the same worker-pool semantics as ExtractEssentialBatch.
 func (t *Timer) ExtractAllIntoBatch(captures []netlist.CellID, m Mode, workers int, dst []SeqEdge) []SeqEdge {
 	workers = t.batchWorkers(workers, len(captures))
+	sp, len0 := t.rec.StartSpan(obs.SpanExtractBatch), len(dst)
 	if workers <= 1 || len(captures) < 2 {
+		wsp := t.rec.WorkerSpan(obs.SpanExtractWorker, 0)
 		for _, c := range captures {
 			dst = t.extractAllInto(&t.trace, &t.Stats, c, m, dst)
 		}
+		wsp.EndArg("roots", int64(len(captures)))
+		t.finishBatch(sp, len(captures), len(dst)-len0)
 		return dst
 	}
-	return t.runBatch(len(captures), workers, dst, func(w *extractWorker, i int) {
+	dst = t.runBatch(len(captures), workers, dst, func(w *extractWorker, i int) {
 		w.buf = t.extractAllInto(&w.st, &w.cnt, captures[i], m, w.buf)
 	})
+	t.finishBatch(sp, len(captures), len(dst)-len0)
+	return dst
+}
+
+// finishBatch folds one batch's counters and closes its span.
+func (t *Timer) finishBatch(sp obs.Span, roots, edges int) {
+	if t.rec != nil {
+		t.rec.Add(obs.CtrExtractBatches, 1)
+		t.rec.Add(obs.CtrExtractRoots, int64(roots))
+		t.rec.Add(obs.CtrExtractEdges, int64(edges))
+	}
+	sp.EndArg2("roots", int64(roots), "edges", int64(edges))
 }

@@ -26,6 +26,7 @@ import (
 
 	"iterskew/internal/delay"
 	"iterskew/internal/netlist"
+	"iterskew/internal/obs"
 )
 
 // Mode selects the analysis corner: Late corresponds to setup/max-delay
@@ -136,6 +137,10 @@ type Timer struct {
 
 	// Analysis-corner derates (from M; 1.0 when unset).
 	dEarly, dLate float64
+
+	// Optional instrumentation recorder (nil by default: every hook below
+	// degrades to a nil check, keeping the hot paths allocation-free).
+	rec *obs.Recorder
 
 	Stats Counters
 }
@@ -311,10 +316,22 @@ func (t *Timer) SetWorkers(n int) {
 		n = runtime.GOMAXPROCS(0)
 	}
 	t.workers = n
+	t.rec.SetGauge(obs.GaugeWorkers, int64(n))
 }
 
 // Workers returns the current worker-pool width.
 func (t *Timer) Workers() int { return t.workers }
+
+// SetRecorder installs an instrumentation recorder on the timer (nil
+// uninstalls). With no recorder the instrumented paths cost a nil check and
+// allocate nothing.
+func (t *Timer) SetRecorder(r *obs.Recorder) {
+	t.rec = r
+	t.rec.SetGauge(obs.GaugeWorkers, int64(t.workers))
+}
+
+// Recorder returns the installed instrumentation recorder (nil if none).
+func (t *Timer) Recorder() *obs.Recorder { return t.rec }
 
 // Latency returns the current effective clock latency of a flip-flop: the
 // physical clock-network arrival plus any predictive CSS latency.
@@ -433,6 +450,8 @@ func (t *Timer) recomputeClock() []netlist.CellID {
 // FullUpdate recomputes the clock network, all net loads, and all arrival
 // and required times from scratch.
 func (t *Timer) FullUpdate() {
+	sp := t.rec.StartSpan(obs.SpanTimerFullUpdate)
+	t.rec.Add(obs.CtrTimerFullUpdates, 1)
 	t.Stats.FullUpdates++
 	for i := range t.netDirty {
 		t.netDirty[i] = true
@@ -454,6 +473,7 @@ func (t *Timer) FullUpdate() {
 		t.evalRequired(t.order[i])
 		t.Stats.BackwardPinVisits++
 	}
+	sp.EndArg("pins", int64(2*len(t.order)))
 }
 
 // sourceArrival returns the early and late launch arrivals for source pins,
@@ -585,6 +605,12 @@ func feq(a, b float64) bool {
 // only the affected cones are re-propagated. It returns the number of pins
 // re-evaluated.
 func (t *Timer) Update() int {
+	sp := t.rec.StartSpan(obs.SpanTimerUpdate)
+	if t.rec != nil {
+		t.rec.Add(obs.CtrTimerUpdates, 1)
+		t.rec.Add(obs.CtrTimerDirtyFFs, int64(len(t.dirtyFFList)))
+		t.rec.Add(obs.CtrTimerDirtyCells, int64(len(t.dirtyCellList)))
+	}
 	if len(t.dirtyCellList) > 0 {
 		// Structural/positional change: refresh loads of incident nets and
 		// the clock network, then seed affected data pins.
@@ -651,7 +677,14 @@ func (t *Timer) Update() int {
 		// Workers must never touch the lazy load cache concurrently.
 		t.refreshNetLoads()
 	}
-	visited := t.runForward() + t.runBackward()
+	fwd, fwdLvls := t.runForward()
+	bwd, bwdLvls := t.runBackward()
+	visited := fwd + bwd
+	if t.rec != nil {
+		t.rec.Add(obs.CtrTimerPins, int64(visited))
+		t.rec.Add(obs.CtrTimerLevels, int64(fwdLvls+bwdLvls))
+	}
+	sp.EndArg2("pins", int64(visited), "levels", int64(fwdLvls+bwdLvls))
 	return visited
 }
 
@@ -695,14 +728,17 @@ func (t *Timer) changedScratch(n int) []bool {
 // Arrival changes shift endpoint slacks only; required times change only at
 // endpoints via latency, which is seeded separately — so the forward pass
 // never seeds the backward worklist.
-func (t *Timer) runForward() int {
-	visited := 0
+//
+// It returns the pins visited and the non-empty level buckets swept.
+func (t *Timer) runForward() (int, int) {
+	visited, levels := 0, 0
 	for lvl := int32(0); lvl <= t.maxLvl; lvl++ {
 		bucket := t.fwdBuckets[lvl]
 		t.fwdBuckets[lvl] = bucket[:0]
 		if len(bucket) == 0 {
 			continue
 		}
+		levels++
 		if t.workers > 1 && len(bucket) >= parallelBucketMin {
 			changed := t.changedScratch(len(bucket))
 			chunked(t.workers, len(bucket), func(lo, hi int) {
@@ -733,17 +769,18 @@ func (t *Timer) runForward() int {
 			}
 		}
 	}
-	return visited
+	return visited, levels
 }
 
-func (t *Timer) runBackward() int {
-	visited := 0
+func (t *Timer) runBackward() (int, int) {
+	visited, levels := 0, 0
 	for lvl := t.maxLvl; lvl >= 0; lvl-- {
 		bucket := t.bwdBuckets[lvl]
 		t.bwdBuckets[lvl] = bucket[:0]
 		if len(bucket) == 0 {
 			continue
 		}
+		levels++
 		if t.workers > 1 && len(bucket) >= parallelBucketMin {
 			changed := t.changedScratch(len(bucket))
 			chunked(t.workers, len(bucket), func(lo, hi int) {
@@ -774,7 +811,7 @@ func (t *Timer) runBackward() int {
 			}
 		}
 	}
-	return visited
+	return visited, levels
 }
 
 // Endpoints returns the endpoint table (shared; do not modify).

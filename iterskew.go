@@ -36,6 +36,7 @@ import (
 	"iterskew/internal/geom"
 	"iterskew/internal/iccss"
 	"iterskew/internal/netlist"
+	"iterskew/internal/obs"
 	"iterskew/internal/opt"
 	"iterskew/internal/timing"
 )
@@ -89,6 +90,19 @@ type (
 	FlowReport = flow.Report
 	// Method is a Table-I comparison method.
 	Method = flow.Method
+
+	// Recorder collects counters, spans and events from an instrumented run.
+	// A nil *Recorder is valid everywhere and costs nothing.
+	Recorder = obs.Recorder
+	// Event is one structured record on the Recorder's JSONL event stream.
+	Event = obs.Event
+	// PhaseStat is one row of a Recorder's per-phase wall-time/allocation
+	// accounting.
+	PhaseStat = obs.PhaseStat
+	// DebugServer serves live pprof and expvar endpoints for a Recorder.
+	DebugServer = obs.DebugServer
+	// IterStats is one per-round record of the paper's Alg 1.
+	IterStats = core.IterStats
 )
 
 // Design-construction types, for users building netlists by hand rather
@@ -182,6 +196,17 @@ func CheckConstraints(d *Design) []error { return eval.CheckConstraints(d) }
 // RunFlow executes a full §V evaluation flow (CSS + physical realization)
 // on a clone of the design and returns its Table-I row.
 func RunFlow(d *Design, cfg FlowConfig) (*FlowReport, error) { return flow.Run(d, cfg) }
+
+// NewRecorder returns an enabled metrics recorder. Install it via
+// FlowConfig.Recorder, ScheduleOptions.Recorder, or Timer.SetRecorder;
+// call EnableTrace/EnableEvents on it for Chrome-trace and JSONL output.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// StartDebugServer serves net/http/pprof and expvar (backed by the given
+// recorder, which may be nil) on addr; use DebugServer.Close to stop it.
+func StartDebugServer(addr string, r *Recorder) (*DebugServer, error) {
+	return obs.StartDebugServer(addr, r)
+}
 
 // MinPeriodResult reports a MinPeriod search.
 type MinPeriodResult = core.MinPeriodResult
