@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench fuzz-smoke oracle-check obs-smoke
+.PHONY: ci vet build test race bench fuzz-smoke oracle-check obs-smoke engine-smoke
 
-ci: vet build test race fuzz-smoke obs-smoke oracle-check
+ci: vet build test race fuzz-smoke obs-smoke engine-smoke oracle-check
 
 vet:
 	$(GO) vet ./...
@@ -14,9 +14,10 @@ test:
 	$(GO) test ./...
 
 # The concurrency-bearing packages (worker-pool extraction, parallel
-# incremental propagation, the shared metrics recorder) must stay race-clean.
+# incremental propagation, the shared metrics recorder, and the
+# compile-once/schedule-many session engine) must stay race-clean.
 race:
-	$(GO) test -race ./internal/timing ./internal/core ./internal/obs
+	$(GO) test -race ./internal/timing ./internal/core ./internal/obs ./internal/engine
 
 bench:
 	$(GO) test -bench 'ExtractEssentialBatch|IncrementalUpdate|CSRPropagation' -benchmem .
@@ -56,3 +57,14 @@ obs-smoke:
 	echo "obs-smoke: /debug/vars ok, /debug/pprof/ ok"
 	$(OBS_TMP)/cssbench -checktrace $(OBS_TMP)/trace.json
 	@test -s $(OBS_TMP)/events.jsonl && echo "obs-smoke: events.jsonl non-empty"
+
+# Concurrent-session smoke: 8 simultaneous mixed-method scheduling sessions
+# over one shared compiled graph, byte-compared against dedicated serial
+# runs (cssbench exits non-zero on any divergence).
+ENGINE_TMP ?= /tmp/iterskew-engine-smoke
+engine-smoke:
+	rm -rf $(ENGINE_TMP) && mkdir -p $(ENGINE_TMP)
+	$(GO) build -o $(ENGINE_TMP)/cssbench ./cmd/cssbench
+	$(ENGINE_TMP)/cssbench -scale 0.004 -sessions 8 -json $(ENGINE_TMP)/sessions.json
+	@grep -q '"identical_to_serial": true' $(ENGINE_TMP)/sessions.json && \
+	    echo "engine-smoke: 8 concurrent sessions identical to serial"

@@ -109,7 +109,7 @@ func TestBaselineFacades(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fpmRes := iterskew.ScheduleFPM(tm2, iterskew.FPMOptions{})
+	fpmRes := mustScheduleFPM(t, tm2, iterskew.FPMOptions{})
 	if fpmRes.EdgesExtracted == 0 {
 		t.Error("FPM extracted nothing")
 	}

@@ -145,7 +145,10 @@ func BenchmarkExtraction_FPMFullGraph(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		res := iterskew.ScheduleFPM(tm, iterskew.FPMOptions{})
+		res, err := iterskew.ScheduleFPM(tm, iterskew.FPMOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
 		edges = res.EdgesExtracted
 	}
 	b.ReportMetric(float64(edges), "edges")

@@ -9,6 +9,14 @@
 //	go run ./cmd/cssbench -scale 0.02    # larger circuits
 //	go run ./cmd/cssbench -designs superblue18,superblue5
 //	go run ./cmd/cssbench -sweep         # §III-D complexity sweep instead
+//	go run ./cmd/cssbench -sessions 8    # concurrent-session benchmark instead
+//
+// The -sessions mode exercises the compile-once/schedule-many engine: it
+// measures the amortized cost of a pooled session (timing.Graph.NewState)
+// against a full timer build (timing.New), then runs N concurrent
+// mixed-method scheduling sessions over one shared graph and verifies the
+// results are byte-identical to dedicated serial runs, exiting non-zero on
+// any divergence (the engine-smoke CI target relies on this).
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -25,8 +34,13 @@ import (
 	"time"
 
 	"iterskew"
+	"iterskew/internal/core"
 	"iterskew/internal/delay"
+	"iterskew/internal/engine"
+	"iterskew/internal/fpm"
+	"iterskew/internal/iccss"
 	"iterskew/internal/obs"
+	"iterskew/internal/sched"
 	"iterskew/internal/timing"
 )
 
@@ -34,6 +48,7 @@ func main() {
 	scale := flag.Float64("scale", 0.01, "linear shrink on contest flip-flop counts")
 	designs := flag.String("designs", "all", "comma-separated design list or 'all'")
 	sweep := flag.Bool("sweep", false, "run the O(k·m') complexity sweep (experiment E4) instead of Table I")
+	sessions := flag.Int("sessions", 0, "run the concurrent-session engine benchmark with this many sessions instead of Table I")
 	csvPath := flag.String("csv", "", "also write the per-design rows to this CSV file")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool width for batch extraction and incremental propagation")
 	jsonPath := flag.String("json", "", "write the Table-I rows plus extraction/propagation micro-timings to this JSON file")
@@ -99,6 +114,14 @@ func main() {
 
 	if *sweep {
 		runSweep()
+		return
+	}
+
+	if *sessions > 0 {
+		if err := runSessions(*designs, *scale, *sessions, *workers, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -282,6 +305,164 @@ type benchJSON struct {
 	// during the table runs (present when -trace/-events/-httpaddr enabled
 	// a recorder).
 	Phases []iterskew.PhaseStat `json:"phases,omitempty"`
+	// Sessions is the -sessions mode's concurrent-engine measurement.
+	Sessions *sessionsJSON `json:"sessions,omitempty"`
+}
+
+// sessionsJSON records the -sessions concurrent-engine benchmark: how much
+// cheaper a pooled session state is than a full timer build, and the
+// throughput of N simultaneous scheduling sessions over one shared graph.
+type sessionsJSON struct {
+	Sessions int `json:"sessions"`
+	// TimingNewNs / NewStateNs are the per-session creation costs of a full
+	// timing.New build vs Graph.NewState on an existing compiled graph.
+	TimingNewNs float64 `json:"timing_new_ns_per_op"`
+	NewStateNs  float64 `json:"new_state_ns_per_op"`
+	// StateSpeedup = TimingNewNs / NewStateNs (the compile-once dividend).
+	StateSpeedup float64 `json:"new_state_speedup"`
+	// SerialSec / ConcurrentSec run the same mixed job list with dedicated
+	// serial timers vs engine sessions over one graph.
+	SerialSec     float64 `json:"serial_jobs_s"`
+	ConcurrentSec float64 `json:"concurrent_jobs_s"`
+	JobsPerSec    float64 `json:"engine_jobs_per_s"`
+	StatesCreated int     `json:"states_created"`
+	// Identical asserts every engine job's schedule matched its serial
+	// reference bit-for-bit.
+	Identical bool `json:"identical_to_serial"`
+}
+
+// runSessions is the -sessions mode: see the package comment.
+func runSessions(designs string, scale float64, n, workers int, jsonPath string) error {
+	name := iterskew.SuperblueNames()[0]
+	if designs != "all" {
+		name = strings.TrimSpace(strings.Split(designs, ",")[0])
+	}
+	p, err := iterskew.SuperblueProfile(name, scale)
+	if err != nil {
+		return err
+	}
+	d, err := iterskew.GenerateBenchmark(p)
+	if err != nil {
+		return err
+	}
+	st := d.Stats()
+	fmt.Printf("concurrent-session benchmark: %s scale %g (cells=%d ffs=%d), %d sessions, %d CPUs\n",
+		name, scale, st.Cells, st.FFs, n, runtime.GOMAXPROCS(0))
+
+	// Amortized session-creation cost: full build vs pooled state.
+	g, err := timing.Compile(d, delay.Default())
+	if err != nil {
+		return err
+	}
+	sj := &sessionsJSON{Sessions: n}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := timing.New(d, delay.Default()); err != nil {
+			return err
+		}
+	}
+	sj.TimingNewNs = float64(time.Since(start).Nanoseconds()) / float64(n)
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		g.NewState()
+	}
+	sj.NewStateNs = float64(time.Since(start).Nanoseconds()) / float64(n)
+	sj.StateSpeedup = sj.TimingNewNs / sj.NewStateNs
+	fmt.Printf("  session creation: timing.New %.0f ns, Graph.NewState %.0f ns (%.1fx cheaper)\n",
+		sj.TimingNewNs, sj.NewStateNs, sj.StateSpeedup)
+
+	// N mixed jobs: all three schedulers, both modes, what-if periods.
+	jobs := make([]engine.Job, n)
+	for i := range jobs {
+		switch i % 4 {
+		case 0:
+			jobs[i] = engine.Job{Options: sched.Options{Mode: timing.Early}}
+		case 1:
+			jobs[i] = engine.Job{Options: sched.Options{Mode: timing.Late}}
+		case 2:
+			jobs[i] = engine.Job{Scheduler: iccss.Scheduler, Options: sched.Options{Mode: timing.Early}}
+		case 3:
+			jobs[i] = engine.Job{Scheduler: fpm.Scheduler}
+		}
+		if i >= 4 {
+			jobs[i].Period = d.Period * (1 + 0.05*float64(i%5))
+		}
+	}
+
+	// Serial references: a dedicated full timer per job.
+	serial := make([]*sched.Result, n)
+	start = time.Now()
+	for i, job := range jobs {
+		tm, err := timing.New(d, delay.Default())
+		if err != nil {
+			return err
+		}
+		if job.Period != 0 {
+			tm.SetPeriod(job.Period)
+		}
+		s := job.Scheduler
+		if s == nil {
+			s = core.Scheduler
+		}
+		if serial[i], err = s.Schedule(tm, job.Options); err != nil {
+			return err
+		}
+	}
+	sj.SerialSec = time.Since(start).Seconds()
+
+	e := engine.NewFromGraph(g, engine.Config{MaxInFlight: n, Workers: workers})
+	start = time.Now()
+	results := e.RunAll(jobs)
+	sj.ConcurrentSec = time.Since(start).Seconds()
+	sj.JobsPerSec = float64(n) / sj.ConcurrentSec
+	sj.StatesCreated = e.StatesCreated()
+
+	sj.Identical = true
+	for i, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("engine job %d: %w", i, r.Err)
+		}
+		if !sameSchedule(r.Result.Target, serial[i].Target) {
+			sj.Identical = false
+			fmt.Fprintf(os.Stderr, "job %d: engine schedule diverges from serial reference\n", i)
+		}
+	}
+	fmt.Printf("  %d jobs: serial %.3fs, engine %.3fs (%.1f jobs/s, %d states created)\n",
+		n, sj.SerialSec, sj.ConcurrentSec, sj.JobsPerSec, sj.StatesCreated)
+
+	if jsonPath != "" {
+		out := benchJSON{Scale: scale, Workers: workers, CPUs: runtime.GOMAXPROCS(0), Sessions: sj}
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if !sj.Identical {
+		return fmt.Errorf("concurrent sessions diverged from serial references")
+	}
+	fmt.Println("  all engine schedules byte-identical to serial references")
+	return nil
+}
+
+// sameSchedule compares two target-latency schedules bit-for-bit.
+func sameSchedule(a, b map[iterskew.CellID]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok || math.Float64bits(v) != math.Float64bits(w) {
+			return false
+		}
+	}
+	return true
 }
 
 // measure times `iters` calls of fn and derives allocs/op from the runtime

@@ -21,158 +21,44 @@ package core
 
 import (
 	"fmt"
-	"io"
 	"math"
 	"time"
 
 	"iterskew/internal/netlist"
 	"iterskew/internal/obs"
+	"iterskew/internal/sched"
 	"iterskew/internal/seqgraph"
 	"iterskew/internal/timing"
 )
 
 const eps = 1e-6
 
-// DegenerateInputError reports an input the schedulers cannot meaningfully
-// process: no sequential elements to skew, a non-positive clock period, or a
-// flip-flop whose Q output drives its own D input directly (a zero-stage
-// self-loop whose slack no latency assignment can move — raising the
-// flip-flop shifts launch and capture together).
-type DegenerateInputError struct {
-	Reason string
-	Cell   netlist.CellID // offending cell, netlist.NoCell for design-wide problems
-}
-
-// Error implements the error interface.
-func (e *DegenerateInputError) Error() string {
-	if e.Cell == netlist.NoCell {
-		return "css: degenerate input: " + e.Reason
-	}
-	return fmt.Sprintf("css: degenerate input: %s (cell %d)", e.Reason, e.Cell)
-}
+// The scheduler contract (options, result, degenerate-input validation) is
+// shared with iccss and fpm through internal/sched; the aliases below keep
+// the historical core.* names working everywhere.
+type (
+	// DegenerateInputError reports an input the schedulers cannot process;
+	// see sched.DegenerateInputError.
+	DegenerateInputError = sched.DegenerateInputError
+	// Options configures one scheduling run (shared scheduler options).
+	Options = sched.Options
+	// IterStats records one iteration for the Fig-8 style trajectory.
+	IterStats = sched.IterStats
+	// CycleFix records one Eq-9 cycle assignment.
+	CycleFix = sched.CycleFix
+	// Result is the outcome of a Schedule run (shared scheduler result).
+	Result = sched.Result
+)
 
 // ValidateInput checks a design for the degenerate shapes that make clock
 // skew scheduling meaningless, returning a *DegenerateInputError describing
-// the first one found. Schedule and iccss.Schedule call it on entry.
-func ValidateInput(d *netlist.Design) error {
-	if !(d.Period > 0) { // also rejects NaN
-		return &DegenerateInputError{
-			Reason: fmt.Sprintf("non-positive clock period %v", d.Period),
-			Cell:   netlist.NoCell,
-		}
-	}
-	if len(d.FFs) == 0 {
-		return &DegenerateInputError{Reason: "no flip-flops to schedule", Cell: netlist.NoCell}
-	}
-	for _, ff := range d.FFs {
-		n := d.Pins[d.FFQ(ff)].Net
-		if n == netlist.NoNet {
-			continue
-		}
-		dp := d.FFData(ff)
-		for _, s := range d.Nets[n].Sinks {
-			if s == dp {
-				return &DegenerateInputError{Reason: "flip-flop Q drives its own D directly", Cell: ff}
-			}
-		}
-	}
-	return nil
-}
+// the first one found. The schedulers call its timer-aware variant
+// (sched.ValidateTimer) on entry.
+func ValidateInput(d *netlist.Design) error { return sched.ValidateInput(d) }
 
-// Options configures one scheduling run.
-type Options struct {
-	// Mode selects which violation type this run optimizes (the paper's flow
-	// runs Early first, then Late; §V).
-	Mode timing.Mode
-	// MaxRounds caps the number of update-extract rounds (cycle-handling
-	// rounds included). 0 means the default of 200.
-	MaxRounds int
-	// Margin widens essential-edge extraction: edges with slack < Margin are
-	// extracted. The paper amplifies a portion of early violations for
-	// stability (§V); a small positive margin reproduces that.
-	Margin float64
-	// LatencyUB optionally bounds the scheduled (extra) latency per
-	// flip-flop from above (Eq 5). nil means unbounded.
-	LatencyUB func(ff netlist.CellID) float64
-	// LatencyLB optionally forces a minimum scheduled latency per flip-flop
-	// (the l_min of Eq 5): those latencies are applied before the first
-	// iteration and count toward the target. nil means no lower bounds.
-	LatencyLB func(ff netlist.CellID) float64
-	// DisableHeadroom removes the ŝ bound of Eq (11) — only for the
-	// ablation study; never use in real flows.
-	DisableHeadroom bool
-	// StallRounds stops the iteration after this many consecutive rounds
-	// whose TNS gain is below 0.01% of the current TNS (coupled headroom
-	// chains can otherwise crawl by epsilon-sized increments for many
-	// rounds). 0 means the default of 3; negative disables the guard.
-	StallRounds int
-	// Workers sets the worker-pool width for batch extraction and incremental
-	// propagation. 0 keeps the timer's configured width (see
-	// timing.Timer.SetWorkers); negative means GOMAXPROCS. Results are
-	// identical at any width.
-	Workers int
-	// Recorder optionally instruments the run: round spans, extraction and
-	// clamp counters, and per-round JSONL events (see internal/obs). nil
-	// falls back to the timer's installed recorder; if that is nil too, the
-	// instrumented paths cost a nil check and nothing else.
-	Recorder *obs.Recorder
-	// Progress, when non-nil, is called after every round with that round's
-	// IterStats — a live trajectory hook that works without a Recorder.
-	Progress func(IterStats)
-	// Log, when non-nil, receives a one-line progress record per round plus
-	// an explanation line for every termination decision (stall guard,
-	// convergence, round cap), so StallRounds stops are explainable.
-	Log io.Writer
-}
-
-// IterStats records one iteration for the Fig-8 style trajectory.
-type IterStats struct {
-	Round     int
-	WNS, TNS  float64 // mode-specific, after applying this round's latencies
-	NewEdges  int     // essential edges added this round
-	Raised    int     // vertices that received a positive increment
-	CycleLen  int     // >0 if this round handled a cycle
-	MaxInc    float64 // largest latency increment this round
-	TimerPins int     // pins re-propagated by the incremental update
-	Clamped   int     // vertices whose Eq-14 need was clamped by l^max (Eq 11)
-}
-
-// CycleFix records one Eq-9 cycle assignment: the cycle's vertices in cycle
-// order, value copies of its sequential edges at freeze time (Edges[i] runs
-// Cells[i]→Cells[i+1]; the last closes back to Cells[0]), and the mean weight
-// every edge's slack is balanced to. Cycle vertices are frozen when the fix
-// is applied and never raised again, so the invariant "each recorded edge's
-// slack equals Mean" must hold at the end of the run — internal/oracle
-// checks exactly that.
-type CycleFix struct {
-	Cells []netlist.CellID
-	Edges []timing.SeqEdge
-	Mean  float64
-}
-
-// Result is the outcome of a Schedule run.
-type Result struct {
-	// Target holds the scheduled latency l* per flip-flop (only entries > 0).
-	Target map[netlist.CellID]float64
-	// Rounds is the number of update-extract rounds executed (the paper's k
-	// plus cycle-handling rounds).
-	Rounds int
-	// Cycles is the number of cycles encountered and fixed.
-	Cycles int
-	// CycleFixes records every Eq-9 mean-weight assignment, for the
-	// invariant checker.
-	CycleFixes []CycleFix
-	// EdgesExtracted is the number of sequential edges added to the partial
-	// graph (after dedup).
-	EdgesExtracted int
-	// PerIter is the per-round trajectory.
-	PerIter []IterStats
-	// Elapsed is the wall-clock scheduling time.
-	Elapsed time.Duration
-	// Graph is the final partial sequential graph (exposed for inspection
-	// and tests).
-	Graph *seqgraph.Graph
-}
+// Scheduler exposes Schedule behind the shared sched.Scheduler interface,
+// for callers (the engine) that dispatch on method dynamically.
+var Scheduler sched.Scheduler = sched.Func(Schedule)
 
 // isPortCell reports whether a cell is an I/O supernode.
 func isPortCell(d *netlist.Design, c netlist.CellID) bool {
@@ -187,7 +73,7 @@ func isPortCell(d *netlist.Design, c netlist.CellID) bool {
 // *DegenerateInputError with no latencies applied.
 func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 	start := time.Now()
-	if err := ValidateInput(tm.D); err != nil {
+	if err := sched.ValidateTimer(tm); err != nil {
 		return nil, err
 	}
 	if opts.MaxRounds == 0 {

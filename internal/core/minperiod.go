@@ -24,7 +24,9 @@ type MinPeriodResult struct {
 // clock period at which the design is schedulable free of setup violations
 // with unrestricted (non-negative) useful skew — the classical clock skew
 // scheduling objective ([4], [8]) answered with the paper's fast iterative
-// engine. The search works on clones; the input design is not modified.
+// engine. The timing graph is compiled once; each probe runs on a fresh
+// state retimed to the probe period, so the design is neither cloned nor
+// modified.
 //
 // lo and hi bound the search (hi must be feasible; lo may be 0 to start
 // from the largest single-stage bound), tol is the absolute termination
@@ -38,13 +40,13 @@ func MinPeriod(d *netlist.Design, lo, hi, tol float64) (*MinPeriodResult, error)
 	}
 	res := &MinPeriodResult{}
 
+	g, err := timing.Compile(d, delay.Default())
+	if err != nil {
+		return nil, err
+	}
 	feasible := func(period float64) (*Result, bool, error) {
-		dd := d.Clone()
-		dd.Period = period
-		tm, err := timing.New(dd, delay.Default())
-		if err != nil {
-			return nil, false, err
-		}
+		tm := g.NewState()
+		tm.SetPeriod(period)
 		r, err := Schedule(tm, Options{Mode: timing.Late})
 		if err != nil {
 			return nil, false, err

@@ -1,0 +1,194 @@
+// Package engine is the compile-once/schedule-many session layer: one
+// immutable timing.Graph (compiled once from a design) serves many
+// concurrent scheduling sessions, each on its own pooled timing.State.
+//
+// Sessions never mutate the design — schedulers only set predictive extra
+// latencies, which live on the per-session state — so any number of
+// sessions can share the graph. States are recycled through a free list
+// (Reset restores the pristine post-compile snapshot), making the marginal
+// cost of a session the state copy rather than a full graph build.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"iterskew/internal/core"
+	"iterskew/internal/delay"
+	"iterskew/internal/netlist"
+	"iterskew/internal/sched"
+	"iterskew/internal/timing"
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// MaxInFlight bounds the number of sessions running simultaneously;
+	// excess Session/Run calls block until a slot frees. 0 means
+	// GOMAXPROCS.
+	MaxInFlight int
+	// Workers is the per-state worker-pool width (timing.SetWorkers) applied
+	// to every state the engine creates. 0 leaves states serial; negative
+	// means GOMAXPROCS. Results are identical at any width.
+	Workers int
+}
+
+// Engine owns one compiled timing graph and a pool of reusable states.
+type Engine struct {
+	g       *timing.Graph
+	workers int
+	slots   chan struct{}
+
+	mu      sync.Mutex
+	free    []*timing.State
+	created int
+}
+
+// New compiles the design once and returns an engine ready to run sessions
+// against it. The design must not be mutated while the engine is in use.
+func New(d *netlist.Design, m delay.Model, cfg Config) (*Engine, error) {
+	g, err := timing.Compile(d, m)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromGraph(g, cfg), nil
+}
+
+// NewFromGraph wraps an already-compiled graph — useful when the caller
+// shares one graph between an engine and other consumers.
+func NewFromGraph(g *timing.Graph, cfg Config) *Engine {
+	n := cfg.MaxInFlight
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		g:       g,
+		workers: cfg.Workers,
+		slots:   make(chan struct{}, n),
+	}
+}
+
+// Graph returns the shared compiled timing graph.
+func (e *Engine) Graph() *timing.Graph { return e.g }
+
+// StatesCreated reports how many states the engine has allocated so far —
+// sessions beyond the peak concurrency reuse pooled states, so this stays
+// at the high-water mark of simultaneous sessions.
+func (e *Engine) StatesCreated() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.created
+}
+
+// acquire pops a pooled state or creates a fresh one.
+func (e *Engine) acquire() *timing.State {
+	e.mu.Lock()
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free = e.free[:n-1]
+		e.mu.Unlock()
+		return s
+	}
+	e.created++
+	e.mu.Unlock()
+	s := e.g.NewState()
+	if e.workers != 0 {
+		s.SetWorkers(e.workers)
+	}
+	return s
+}
+
+// release restores the state to its pristine snapshot and returns it to the
+// pool.
+func (e *Engine) release(s *timing.State) {
+	s.SetRecorder(nil)
+	s.Reset()
+	e.mu.Lock()
+	e.free = append(e.free, s)
+	e.mu.Unlock()
+}
+
+// Session runs fn on a pooled state, blocking first if MaxInFlight sessions
+// are already running. The state is valid only for the duration of fn; it
+// is reset and recycled afterwards, so fn must not retain it.
+func (e *Engine) Session(fn func(tm *timing.Timer) error) error {
+	e.slots <- struct{}{}
+	defer func() { <-e.slots }()
+	s := e.acquire()
+	defer e.release(s)
+	return fn(s)
+}
+
+// Job describes one scheduling session: which scheduler to run, with what
+// options, and optional per-session what-if timing overrides.
+type Job struct {
+	// Scheduler runs the job; nil selects the paper's core scheduler.
+	Scheduler sched.Scheduler
+	// Options is passed to the scheduler. Options.Recorder, when set, is
+	// installed on the session state so timer-level instrumentation also
+	// lands in it (and is detached before the state is recycled).
+	Options sched.Options
+	// Period, when nonzero, retimes the session to this what-if clock
+	// period instead of the design's.
+	Period float64
+	// DerateEarly / DerateLate, when nonzero, override the respective
+	// delay derate for this session; a zero field keeps the model's value.
+	DerateEarly float64
+	DerateLate  float64
+}
+
+// Run executes one job on a pooled session state.
+func (e *Engine) Run(job Job) (*sched.Result, error) {
+	var res *sched.Result
+	err := e.Session(func(tm *timing.Timer) error {
+		if job.Period != 0 {
+			tm.SetPeriod(job.Period)
+		}
+		if job.DerateEarly != 0 || job.DerateLate != 0 {
+			de, dl := tm.Derates()
+			if job.DerateEarly != 0 {
+				de = job.DerateEarly
+			}
+			if job.DerateLate != 0 {
+				dl = job.DerateLate
+			}
+			tm.SetDerates(de, dl)
+		}
+		if job.Options.Recorder != nil {
+			tm.SetRecorder(job.Options.Recorder)
+		}
+		s := job.Scheduler
+		if s == nil {
+			s = core.Scheduler
+		}
+		var err error
+		res, err = s.Schedule(tm, job.Options)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	return res, nil
+}
+
+// JobResult pairs one RunAll job's outcome with its error.
+type JobResult struct {
+	Result *sched.Result
+	Err    error
+}
+
+// RunAll runs every job concurrently (bounded by MaxInFlight) and returns
+// their results in job order.
+func (e *Engine) RunAll(jobs []Job) []JobResult {
+	out := make([]JobResult, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i].Result, out[i].Err = e.Run(jobs[i])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,159 @@
+package flow
+
+import (
+	"testing"
+
+	"iterskew/internal/bench"
+	"iterskew/internal/delay"
+	"iterskew/internal/netlist"
+	"iterskew/internal/timing"
+)
+
+// countClones swaps the cloneDesign hook for the duration of fn and returns
+// how many times Run cloned its input.
+func countClones(t *testing.T, fn func()) int {
+	t.Helper()
+	n := 0
+	orig := cloneDesign
+	cloneDesign = func(d *netlist.Design) *netlist.Design {
+		n++
+		return orig(d)
+	}
+	defer func() { cloneDesign = orig }()
+	fn()
+	return n
+}
+
+// TestFlowClonesOnlyMutatingRuns: the input is cloned exactly when the §IV
+// physical stages will run — timing-only configurations analyze the input
+// directly.
+func TestFlowClonesOnlyMutatingRuns(t *testing.T) {
+	p, _ := bench.Superblue("superblue18", 0.004)
+	d, err := bench.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		cfg   Config
+		wantN int
+	}{
+		{"baseline", Config{Method: Baseline}, 0},
+		{"fpm", Config{Method: FPM}, 0},
+		{"ours-skipopt", Config{Method: Ours, SkipOpt: true}, 0},
+		{"iccss-skipopt", Config{Method: ICCSSPlus, SkipOpt: true}, 0},
+		{"ours-early", Config{Method: OursEarly}, 1},
+		{"iccss", Config{Method: ICCSSPlus}, 1},
+		{"ours", Config{Method: Ours}, 1},
+	}
+	for _, tc := range cases {
+		var rep *Report
+		got := countClones(t, func() {
+			var err error
+			rep, err = Run(d, tc.cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+		})
+		if got != tc.wantN {
+			t.Errorf("%s: cloned %d times, want %d", tc.name, got, tc.wantN)
+		}
+		if rep.ClonedInput != (tc.wantN == 1) {
+			t.Errorf("%s: ClonedInput=%v, want %v", tc.name, rep.ClonedInput, tc.wantN == 1)
+		}
+	}
+}
+
+// TestFlowTimingOnlyRunsLeaveInputUntouched: with the clone skipped, a
+// timing-only run must still not mutate the shared input design.
+func TestFlowTimingOnlyRunsLeaveInputUntouched(t *testing.T) {
+	p, _ := bench.Superblue("superblue18", 0.004)
+	d, err := bench.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hpwl0 := d.HPWL()
+	for _, cfg := range []Config{
+		{Method: Baseline},
+		{Method: FPM},
+		{Method: Ours, SkipOpt: true},
+	} {
+		if _, err := Run(d, cfg); err != nil {
+			t.Fatalf("%v: %v", cfg.Method, err)
+		}
+		if d.HPWL() != hpwl0 {
+			t.Fatalf("%v (SkipOpt=%v) mutated the clone-skipped input", cfg.Method, cfg.SkipOpt)
+		}
+	}
+}
+
+// TestFlowSkipOptAllocs: skipping the clone and the physical stages must
+// show up as strictly fewer allocations per run.
+func TestFlowSkipOptAllocs(t *testing.T) {
+	p, _ := bench.Superblue("superblue18", 0.002)
+	d, err := bench.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := testing.AllocsPerRun(3, func() {
+		if _, err := Run(d, Config{Method: Ours}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	lean := testing.AllocsPerRun(3, func() {
+		if _, err := Run(d, Config{Method: Ours, SkipOpt: true}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if lean >= full {
+		t.Errorf("SkipOpt run allocates %.0f >= full run %.0f", lean, full)
+	}
+	t.Logf("allocs/run: full=%.0f skipopt=%.0f", full, lean)
+}
+
+// TestRunGraphMatchesRun: a timing-only flow over a pre-compiled graph is
+// byte-identical to the same flow through Run, and RunGraph rejects
+// configurations that would mutate placement.
+func TestRunGraphMatchesRun(t *testing.T) {
+	p, _ := bench.Superblue("superblue18", 0.004)
+	d, err := bench.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := timing.Compile(d, delay.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cfg := range []Config{
+		{Method: Baseline},
+		{Method: FPM},
+		{Method: Ours, SkipOpt: true},
+		{Method: ICCSSPlus, SkipOpt: true},
+	} {
+		viaRun, err := Run(d, cfg)
+		if err != nil {
+			t.Fatalf("Run %v: %v", cfg.Method, err)
+		}
+		viaGraph, err := RunGraph(g, cfg)
+		if err != nil {
+			t.Fatalf("RunGraph %v: %v", cfg.Method, err)
+		}
+		if viaRun.Final != viaGraph.Final {
+			t.Errorf("%v (SkipOpt=%v): Final metrics diverge: %+v vs %+v",
+				cfg.Method, cfg.SkipOpt, viaRun.Final, viaGraph.Final)
+		}
+		if viaRun.ExtractedEdges != viaGraph.ExtractedEdges {
+			t.Errorf("%v: extracted edges diverge: %d vs %d",
+				cfg.Method, viaRun.ExtractedEdges, viaGraph.ExtractedEdges)
+		}
+		if viaRun.Rounds != viaGraph.Rounds {
+			t.Errorf("%v: rounds diverge: %d vs %d", cfg.Method, viaRun.Rounds, viaGraph.Rounds)
+		}
+	}
+
+	if _, err := RunGraph(g, Config{Method: Ours}); err == nil {
+		t.Error("RunGraph accepted a mutating config")
+	}
+}

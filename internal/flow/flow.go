@@ -3,8 +3,11 @@
 // constraints), with a pluggable clock-skew-scheduling method per stage,
 // followed by the §IV physical realization.
 //
-// Each Run clones the input design, so every method starts from the same
-// "Contest 1st" solution, as in Table I.
+// Runs that mutate placement work on a clone of the input design, so every
+// method starts from the same "Contest 1st" solution, as in Table I.
+// Timing-only runs (Baseline, FPM, or any method under SkipOpt) analyze the
+// input directly — predictive latencies live on the timer state, never on
+// the design — and skip the clone.
 package flow
 
 import (
@@ -70,6 +73,11 @@ type Config struct {
 	// and batch extraction. 0 leaves the timer serial; negative means
 	// GOMAXPROCS. Results are identical at any width.
 	Workers int
+	// SkipOpt skips the §IV physical realization after each CSS stage (and
+	// the optional sizing pass): a timing-only run that leaves the computed
+	// latencies applied predictively and never mutates the design — so Run
+	// also skips cloning the input.
+	SkipOpt bool
 	// Recorder optionally instruments the run: it is installed on the timer
 	// (so every scheduler and extraction call reports into it) and receives
 	// per-phase wall-time/allocation accounting plus run/phase events.
@@ -111,15 +119,71 @@ type Report struct {
 	// ConstraintErrs lists contest-constraint violations after the flow
 	// (must be empty).
 	ConstraintErrs []string
+
+	// ClonedInput reports whether Run worked on a clone of the input. It is
+	// true exactly when the configured method mutates placement (the §IV
+	// stages run); timing-only runs (Baseline, FPM, SkipOpt) analyze the
+	// input design directly — predictive latencies live on the timer state,
+	// never on the design.
+	ClonedInput bool
 }
 
-// Run executes the configured method on a clone of the input design.
+// mutatesPlacement reports whether the configured run performs physical
+// optimization (and therefore must work on a clone of the input).
+func (cfg Config) mutatesPlacement() bool {
+	if cfg.SkipOpt {
+		return false
+	}
+	switch cfg.Method {
+	case OursEarly, ICCSSPlus, Ours:
+		return true
+	}
+	return false
+}
+
+// cloneDesign is what Run uses to clone a mutating run's input; tests swap
+// it to observe (or forbid) the clone.
+var cloneDesign = func(d *netlist.Design) *netlist.Design { return d.Clone() }
+
+// Run executes the configured method on the input design. Methods that
+// mutate placement run on a clone, so every method starts from the same
+// "Contest 1st" solution; timing-only configurations skip the clone and
+// compile the input directly.
 func Run(input *netlist.Design, cfg Config) (*Report, error) {
-	d := input.Clone()
-	tm, err := timing.New(d, delay.Default())
+	d := input
+	cloned := cfg.mutatesPlacement()
+	if cloned {
+		d = cloneDesign(input)
+	}
+	g, err := timing.Compile(d, delay.Default())
 	if err != nil {
 		return nil, err
 	}
+	rep, err := runGraph(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.ClonedInput = cloned
+	return rep, nil
+}
+
+// RunGraph executes a timing-only flow over an already-compiled timing
+// graph — the compile-once/schedule-many entry point used by concurrent
+// what-if sessions. The configuration must not mutate placement (Baseline,
+// FPM, or SkipOpt set); mutating configurations must go through Run, which
+// owns the clone-then-compile sequence.
+func RunGraph(g *timing.Graph, cfg Config) (*Report, error) {
+	if cfg.mutatesPlacement() {
+		return nil, fmt.Errorf("flow: RunGraph requires a non-mutating config (method %v without SkipOpt mutates placement)", cfg.Method)
+	}
+	return runGraph(g, cfg)
+}
+
+// runGraph is the shared core of Run and RunGraph: one state over the
+// compiled graph carries both CSS stages, so the graph build is paid once.
+func runGraph(g *timing.Graph, cfg Config) (*Report, error) {
+	d := g.Design()
+	tm := g.NewState()
 	if cfg.Workers != 0 {
 		tm.SetWorkers(cfg.Workers)
 	}
@@ -129,7 +193,7 @@ func Run(input *netlist.Design, cfg Config) (*Report, error) {
 		rec.Emit(obs.Event{
 			Type:   "run",
 			Method: cfg.Method.String(),
-			Design: fmt.Sprintf("%d cells / %d nets", len(input.Cells), len(input.Nets)),
+			Design: fmt.Sprintf("%d cells / %d nets", len(d.Cells), len(d.Nets)),
 		})
 	}
 	rep := &Report{Method: cfg.Method}
@@ -144,7 +208,10 @@ func Run(input *netlist.Design, cfg Config) (*Report, error) {
 	case FPM:
 		t0 := time.Now()
 		done := rec.PhaseSpan("fpm-css")
-		fpm.Schedule(tm, fpm.Options{})
+		if _, err := fpm.Schedule(tm, fpm.Options{}); err != nil {
+			done()
+			return nil, err
+		}
 		done()
 		rep.CSSTime = time.Since(t0)
 		// FPM is a predictive placement-stage methodology: its skews are
@@ -164,7 +231,7 @@ func Run(input *netlist.Design, cfg Config) (*Report, error) {
 		if err := runStage(tm, rep, cfg, timing.Late, "late"); err != nil {
 			return nil, err
 		}
-		if cfg.EnableSizing {
+		if cfg.EnableSizing && !cfg.SkipOpt {
 			t0 := time.Now()
 			done := rec.PhaseSpan("sizing")
 			opt.ResizeCells(tm, cfg.Resize)
@@ -216,7 +283,9 @@ func runStage(tm *timing.Timer, rep *Report, cfg Config, mode timing.Mode, phase
 	done()
 	rep.CSSTime += time.Since(t0)
 
-	rep.applyOpt(tm, targets, cfg, phase)
+	if !cfg.SkipOpt {
+		rep.applyOpt(tm, targets, cfg, phase)
+	}
 	return nil
 }
 

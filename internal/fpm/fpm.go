@@ -22,33 +22,33 @@ import (
 
 	"iterskew/internal/netlist"
 	"iterskew/internal/obs"
+	"iterskew/internal/sched"
 	"iterskew/internal/seqgraph"
 	"iterskew/internal/timing"
 )
 
 const eps = 1e-6
 
-// Options configures an FPM run.
-type Options struct {
-	// LatencyUB optionally bounds the predictive latency per flip-flop.
-	LatencyUB func(ff netlist.CellID) float64
-	// Recorder optionally instruments the run (extraction/greedy-pass spans
-	// and edge counters). nil falls back to the timer's installed recorder.
-	Recorder *obs.Recorder
-}
+// Options configures an FPM run: the shared scheduler options. FPM consumes
+// only LatencyUB and Recorder; the remaining fields are ignored (FPM is
+// one-shot and early-only by construction).
+type Options = sched.Options
 
-// Result reports what FPM did.
-type Result struct {
-	Target         map[netlist.CellID]float64
-	EdgesExtracted int
-	Elapsed        time.Duration
-	Graph          *seqgraph.Graph
-}
+// Result is the shared scheduler result. FPM fills only Target,
+// EdgesExtracted, Elapsed and Graph.
+type Result = sched.Result
+
+// Scheduler exposes Schedule behind the shared sched.Scheduler interface.
+var Scheduler sched.Scheduler = sched.Func(Schedule)
 
 // Schedule runs FPM: full early-graph extraction followed by one greedy
-// predictive skew pass. Latencies are left applied on the timer.
-func Schedule(tm *timing.Timer, opts Options) *Result {
+// predictive skew pass. Latencies are left applied on the timer. Degenerate
+// designs return a *sched.DegenerateInputError, matching core and iccss.
+func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 	start := time.Now()
+	if err := sched.ValidateTimer(tm); err != nil {
+		return nil, err
+	}
 	rec := opts.Recorder
 	if rec == nil {
 		rec = tm.Recorder()
@@ -160,5 +160,5 @@ func Schedule(tm *timing.Timer, opts Options) *Result {
 
 	res.Elapsed = time.Since(start)
 	runSp.EndArg("edges", int64(res.EdgesExtracted))
-	return res
+	return res, nil
 }

@@ -63,7 +63,7 @@ func TestFPMFixesSimpleHoldViolations(t *testing.T) {
 	if wns0 >= 0 {
 		t.Fatal("no early violation in fixture")
 	}
-	res := Schedule(tm, Options{})
+	res := mustSchedule(t, tm, Options{})
 	wns1, _ := tm.WNSTNS(timing.Early)
 	if wns1 < -1e-6 {
 		t.Errorf("FPM left violations on an easy fixture: %v -> %v", wns0, wns1)
@@ -86,7 +86,7 @@ func TestFPMExtractsFullGraph(t *testing.T) {
 	d2 := d.Clone()
 
 	tmF := newTimer(t, d)
-	resF := Schedule(tmF, Options{})
+	resF := mustSchedule(t, tmF, Options{})
 
 	tmC := newTimer(t, d2)
 	resC := mustCoreSchedule(t, tmC, core.Options{Mode: timing.Early})
@@ -112,7 +112,7 @@ func TestFPMLeavesResidualsWhenCapped(t *testing.T) {
 	}
 	// Cap predictive skew below the need.
 	needed := -wns0
-	res := Schedule(tm, Options{
+	res := mustSchedule(t, tm, Options{
 		LatencyUB: func(netlist.CellID) float64 { return needed / 2 },
 	})
 	wns1, _ := tm.WNSTNS(timing.Early)
@@ -152,7 +152,7 @@ func TestFPMPortLaunchResidual(t *testing.T) {
 	if wns0 >= 0 {
 		t.Fatal("expected port-launched early violation")
 	}
-	res := Schedule(tm, Options{})
+	res := mustSchedule(t, tm, Options{})
 	wns1, _ := tm.WNSTNS(timing.Early)
 	if wns1 != wns0 {
 		t.Errorf("port-launched violation changed: %v -> %v", wns0, wns1)

@@ -17,3 +17,14 @@ func mustCoreSchedule(tb testing.TB, tm *timing.Timer, opts core.Options) *core.
 	}
 	return res
 }
+
+// mustSchedule runs the FPM scheduler, failing the test on a
+// degenerate-input error.
+func mustSchedule(tb testing.TB, tm *timing.Timer, opts Options) *Result {
+	tb.Helper()
+	res, err := Schedule(tm, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}

@@ -94,7 +94,10 @@ func checkSchedulers(t *testing.T, seed int64) seedOutcome {
 	if err != nil {
 		t.Fatalf("seed %d fpm checker: %v", seed, err)
 	}
-	fres := fpm.Schedule(tm, fpm.Options{})
+	fres, err := fpm.Schedule(tm, fpm.Options{})
+	if err != nil {
+		t.Fatalf("seed %d fpm: %v", seed, err)
+	}
 	for _, f := range chk.Check(tm, fres.Target, nil).Findings {
 		t.Errorf("seed %d fpm: %s", seed, f)
 	}

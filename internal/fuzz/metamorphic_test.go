@@ -87,8 +87,9 @@ func TestMetamorphicPeriodShift(t *testing.T) {
 				id := timing.EndpointID(i)
 				base[i] = pair{tm.LateSlack(id), tm.EarlySlack(id)}
 			}
-			d.Period += dT
-			tm.FullUpdate()
+			// SetPeriod is the state-local what-if: the shared design is
+			// untouched and required times re-drain incrementally.
+			tm.SetPeriod(d.Period + dT)
 			for i := range tm.Endpoints() {
 				id := timing.EndpointID(i)
 				wantLate := base[i].late + dT

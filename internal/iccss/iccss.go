@@ -25,40 +25,25 @@ import (
 	"iterskew/internal/core"
 	"iterskew/internal/netlist"
 	"iterskew/internal/obs"
+	"iterskew/internal/sched"
 	"iterskew/internal/seqgraph"
 	"iterskew/internal/timing"
 )
 
 const eps = 1e-6
 
-// Options configures an IC-CSS+ run.
-type Options struct {
-	Mode      timing.Mode
-	MaxRounds int // default 200
-	// LatencyUB optionally bounds the scheduled latency per flip-flop (Eq 5).
-	LatencyUB func(ff netlist.CellID) float64
-	// Workers sets the worker-pool width for the critical-vertex extraction
-	// batches (IC-CSS+'s dominant cost). 0 keeps the timer's configured
-	// width; negative means GOMAXPROCS. Results are identical at any width.
-	Workers int
-	// Recorder optionally instruments the run (round spans, critical-vertex
-	// and constraint-extraction counters, per-round events). nil falls back
-	// to the timer's installed recorder.
-	Recorder *obs.Recorder
-}
+// Options configures an IC-CSS+ run: the shared scheduler options. IC-CSS+
+// consumes Mode, MaxRounds, LatencyUB, Workers and Recorder; the remaining
+// fields are core-specific and ignored here.
+type Options = sched.Options
 
-// Result mirrors core.Result for the comparison harness.
-type Result struct {
-	Target         map[netlist.CellID]float64
-	Rounds         int
-	Cycles         int
-	CycleFixes     []core.CycleFix // Eq-9 assignments, for the invariant checker
-	EdgesExtracted int
-	CriticalVerts  int // vertices whose full fanout was extracted
-	ConstraintExts int // constraint-edge callback invocations
-	Elapsed        time.Duration
-	Graph          *seqgraph.Graph
-}
+// Result is the shared scheduler result; IC-CSS+ additionally fills
+// CriticalVerts (vertices whose full fanout was extracted) and
+// ConstraintExts (constraint-edge callback invocations).
+type Result = sched.Result
+
+// Scheduler exposes Schedule behind the shared sched.Scheduler interface.
+var Scheduler sched.Scheduler = sched.Func(Schedule)
 
 // Schedule runs IC-CSS+ on the timer's design. Like core.Schedule it leaves
 // the computed latencies applied as predictive latencies, and like
@@ -66,7 +51,7 @@ type Result struct {
 // *core.DegenerateInputError.
 func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 	start := time.Now()
-	if err := core.ValidateInput(tm.D); err != nil {
+	if err := sched.ValidateTimer(tm); err != nil {
 		return nil, err
 	}
 	if opts.MaxRounds == 0 {
@@ -123,8 +108,8 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 			maxRaise = s
 		}
 	}
-	if maxRaise > d.Period {
-		maxRaise = d.Period
+	if maxRaise > tm.Period() {
+		maxRaise = tm.Period()
 	}
 	// Early-mode snapshot: the initial early slack per endpoint; raising a
 	// capture's latency by more than this makes it hold-critical.
@@ -174,7 +159,7 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 				if d.Cells[u].Type.Kind == netlist.KindFF {
 					lat = tm.ExtraLatency(u) + tm.BaseLatency(u) - minBase
 				}
-				if lat+maxRaise+do < d.Period-maxSetup-eps {
+				if lat+maxRaise+do < tm.Period()-maxSetup-eps {
 					continue // not critical (Eq 8, conservative bound)
 				}
 				extractedFull[u] = true

@@ -32,15 +32,15 @@ type arcRef struct {
 }
 
 // buildCSR flattens the data timing graph. classifyPins must have run.
-func (t *Timer) buildCSR() {
-	d := t.D
+func (g *Graph) buildCSR() {
+	d := g.D
 	np := len(d.Pins)
-	t.fwdOff = make([]int32, np+1)
-	t.bwdOff = make([]int32, np+1)
+	g.fwdOff = make([]int32, np+1)
+	g.bwdOff = make([]int32, np+1)
 
 	// Counting pass.
 	for i := 0; i < np; i++ {
-		if !t.inData[i] {
+		if !g.inData[i] {
 			continue
 		}
 		p := netlist.PinID(i)
@@ -48,34 +48,34 @@ func (t *Timer) buildCSR() {
 		if pin.Dir == netlist.DirIn {
 			// Fanin: the driver of the pin's net, when in the data graph.
 			if pin.Net != netlist.NoNet {
-				if drv := d.Nets[pin.Net].Driver; drv != netlist.NoPin && t.inData[drv] {
-					t.bwdOff[i+1]++
-					t.fwdOff[drv+1]++
+				if drv := d.Nets[pin.Net].Driver; drv != netlist.NoPin && g.inData[drv] {
+					g.bwdOff[i+1]++
+					g.fwdOff[drv+1]++
 				}
 			}
 			// Fanout: the owning cell's output arc (combinational cells only).
 			cell := &d.Cells[pin.Cell]
 			if cell.Type.Kind == netlist.KindComb {
-				t.fwdOff[i+1]++
+				g.fwdOff[i+1]++
 				out := cell.Pins[len(cell.Pins)-1]
-				t.bwdOff[out+1]++
+				g.bwdOff[out+1]++
 			}
 		}
 		_ = p
 	}
 	for i := 0; i < np; i++ {
-		t.fwdOff[i+1] += t.fwdOff[i]
-		t.bwdOff[i+1] += t.bwdOff[i]
+		g.fwdOff[i+1] += g.fwdOff[i]
+		g.bwdOff[i+1] += g.bwdOff[i]
 	}
-	t.fwdArc = make([]arcRef, t.fwdOff[np])
-	t.bwdArc = make([]arcRef, t.bwdOff[np])
+	g.fwdArc = make([]arcRef, g.fwdOff[np])
+	g.bwdArc = make([]arcRef, g.bwdOff[np])
 
 	// Filling pass, preserving the historical iteration orders: wire fanout
 	// in net-sink order, cell fanin in cell-input order.
 	fc := make([]int32, np) // fill cursor per pin
 	bc := make([]int32, np)
 	for i := 0; i < np; i++ {
-		if !t.inData[i] {
+		if !g.inData[i] {
 			continue
 		}
 		pin := &d.Pins[i]
@@ -83,10 +83,10 @@ func (t *Timer) buildCSR() {
 			// Wire fanout of an output pin, in sink order.
 			if pin.Net != netlist.NoNet && !d.Nets[pin.Net].IsClock {
 				for _, s := range d.Nets[pin.Net].Sinks {
-					if t.inData[s] {
-						t.fwdArc[t.fwdOff[i]+fc[i]] = arcRef{To: s, Net: pin.Net}
+					if g.inData[s] {
+						g.fwdArc[g.fwdOff[i]+fc[i]] = arcRef{To: s, Net: pin.Net}
 						fc[i]++
-						t.bwdArc[t.bwdOff[s]+bc[s]] = arcRef{To: netlist.PinID(i), Net: pin.Net}
+						g.bwdArc[g.bwdOff[s]+bc[s]] = arcRef{To: netlist.PinID(i), Net: pin.Net}
 						bc[s]++
 					}
 				}
@@ -96,9 +96,9 @@ func (t *Timer) buildCSR() {
 			if cell.Type.Kind == netlist.KindComb {
 				for k := 0; k < cell.Type.NumInputs; k++ {
 					in := cell.Pins[k]
-					t.bwdArc[t.bwdOff[i]+bc[i]] = arcRef{To: in, Net: netlist.NoNet}
+					g.bwdArc[g.bwdOff[i]+bc[i]] = arcRef{To: in, Net: netlist.NoNet}
 					bc[i]++
-					t.fwdArc[t.fwdOff[in]+fc[in]] = arcRef{To: netlist.PinID(i), Net: netlist.NoNet}
+					g.fwdArc[g.fwdOff[in]+fc[in]] = arcRef{To: netlist.PinID(i), Net: netlist.NoNet}
 					fc[in]++
 				}
 			}
@@ -107,13 +107,13 @@ func (t *Timer) buildCSR() {
 }
 
 // faninArcs returns the packed fanin arcs of p (empty for non-data pins).
-func (t *Timer) faninArcs(p netlist.PinID) []arcRef {
-	return t.bwdArc[t.bwdOff[p]:t.bwdOff[p+1]]
+func (g *Graph) faninArcs(p netlist.PinID) []arcRef {
+	return g.bwdArc[g.bwdOff[p]:g.bwdOff[p+1]]
 }
 
 // fanoutArcs returns the packed fanout arcs of p.
-func (t *Timer) fanoutArcs(p netlist.PinID) []arcRef {
-	return t.fwdArc[t.fwdOff[p]:t.fwdOff[p+1]]
+func (g *Graph) fanoutArcs(p netlist.PinID) []arcRef {
+	return g.fwdArc[g.fwdOff[p]:g.fwdOff[p+1]]
 }
 
 // fanoutArcDelay returns the delay of a forward arc leaving any pin: the

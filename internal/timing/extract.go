@@ -41,7 +41,7 @@ func (t *Timer) EdgeSlack(e SeqEdge) float64 {
 		setup = d.OutDelay[e.Capture] // external setup margin (SDC-lite)
 	}
 	if e.Mode == Late {
-		return lCapture + d.Period - setup - (lLaunch + e.Delay)
+		return lCapture + t.period - setup - (lLaunch + e.Delay)
 	}
 	return (lLaunch + e.Delay) - (lCapture + hold)
 }

@@ -1,0 +1,318 @@
+package timing
+
+import (
+	"fmt"
+
+	"iterskew/internal/delay"
+	"iterskew/internal/netlist"
+)
+
+// Graph is the immutable, compiled view of a design's timing structure:
+// topology (which pins belong to the data graph), CSR forward/backward
+// adjacency, topological levels, endpoint tables and the per-level buckets
+// used by parallel propagation. It is built once by Compile and from then on
+// only read — any number of States (and hence goroutines) may share one
+// Graph concurrently, which is what makes the engine's compile-once /
+// schedule-many model sound.
+//
+// The split mirrors the paper's premise (§III-B1): the compiled timing graph
+// is static across a scheduling run; only latencies, arrivals and required
+// times move. Cell moves and LCB–FF reconnection change delays and clock
+// connectivity, never data connectivity, so the CSR arrays survive physical
+// optimization too — but a Graph whose design has been mutated must not be
+// used to create new States (the pristine snapshot below would be stale).
+type Graph struct {
+	D *netlist.Design
+	M delay.Model
+
+	// Static graph structure.
+	inData []bool  // pin participates in the data timing graph
+	level  []int32 // topological level of each data pin
+	order  []netlist.PinID
+	maxLvl int32
+
+	// CSR adjacency (see csr.go).
+	fwdOff []int32
+	fwdArc []arcRef
+	bwdOff []int32
+	bwdArc []arcRef
+
+	// Endpoint tables.
+	endpoints  []Endpoint
+	endpointOf []EndpointID // cell -> endpoint (-1 if none)
+	ffIdx      []int32      // cell -> FF index (-1 if not a FF)
+
+	// Topological order grouped by level, for level-synchronized parallel
+	// propagation.
+	lvlBuckets [][]netlist.PinID
+
+	// Pristine post-compile analysis snapshot: the result of a full update
+	// at the design's period with zero extra latencies. NewState memcpys it
+	// instead of re-propagating, making per-session setup a small constant
+	// factor over the array allocations alone.
+	snapAtMin, snapAtMax   []float64
+	snapReqMin, snapReqMax []float64
+	snapBaseLat            []float64
+	snapNetLoad            []float64
+	snapNetDirty           []bool
+	snapStats              Counters
+}
+
+// Compile builds the immutable timing graph of d under model m: pin
+// classification, CSR adjacency, levelization, endpoint tables, plus the
+// pristine analysis snapshot that makes NewState cheap. It returns an error
+// if the data graph contains a combinational cycle.
+func Compile(d *netlist.Design, m delay.Model) (*Graph, error) {
+	g := &Graph{D: d, M: m}
+	np := len(d.Pins)
+	g.inData = make([]bool, np)
+	g.level = make([]int32, np)
+
+	g.ffIdx = make([]int32, len(d.Cells))
+	g.endpointOf = make([]EndpointID, len(d.Cells))
+	for i := range g.ffIdx {
+		g.ffIdx[i] = -1
+		g.endpointOf[i] = -1
+	}
+	for i, ff := range d.FFs {
+		g.ffIdx[ff] = int32(i)
+	}
+	for _, ff := range d.FFs {
+		g.endpointOf[ff] = EndpointID(len(g.endpoints))
+		g.endpoints = append(g.endpoints, Endpoint{Pin: d.FFData(ff), Cell: ff})
+	}
+	for _, p := range d.OutPorts {
+		g.endpointOf[p] = EndpointID(len(g.endpoints))
+		g.endpoints = append(g.endpoints, Endpoint{Pin: d.Cells[p].Pins[0], Cell: p, IsPort: true})
+	}
+
+	g.classifyPins()
+	g.buildCSR()
+	if err := g.levelize(); err != nil {
+		return nil, err
+	}
+	g.lvlBuckets = make([][]netlist.PinID, g.maxLvl+1)
+	for _, p := range g.order {
+		g.lvlBuckets[g.level[p]] = append(g.lvlBuckets[g.level[p]], p)
+	}
+
+	// Bootstrap analysis: run the one full update every timer historically
+	// performed at construction, then keep its arrays as the snapshot.
+	s := g.blankState()
+	s.FullUpdate()
+	g.snapAtMin, g.snapAtMax = s.atMin, s.atMax
+	g.snapReqMin, g.snapReqMax = s.reqMin, s.reqMax
+	g.snapBaseLat = s.baseLat
+	g.snapNetLoad, g.snapNetDirty = s.netLoad, s.netDirty
+	g.snapStats = s.Stats
+	return g, nil
+}
+
+// Design returns the design the graph was compiled from.
+func (g *Graph) Design() *netlist.Design { return g.D }
+
+// Model returns the delay model the graph was compiled under.
+func (g *Graph) Model() delay.Model { return g.M }
+
+// Endpoints returns the endpoint table (shared; do not modify).
+func (g *Graph) Endpoints() []Endpoint { return g.endpoints }
+
+// EndpointOf returns the endpoint of a flip-flop or output port.
+func (g *Graph) EndpointOf(c netlist.CellID) EndpointID { return g.endpointOf[c] }
+
+// classifyPins marks the pins that belong to the data timing graph.
+func (g *Graph) classifyPins() {
+	d := g.D
+	for i := range d.Pins {
+		p := netlist.PinID(i)
+		pin := &d.Pins[i]
+		kind := d.Cells[pin.Cell].Type.Kind
+		switch kind {
+		case netlist.KindLCB, netlist.KindClockRoot:
+			continue
+		case netlist.KindFF:
+			if d.Cells[pin.Cell].Pins[netlist.FFPinCK] == p {
+				continue // clock pin
+			}
+		}
+		if pin.Net != netlist.NoNet && d.Nets[pin.Net].IsClock {
+			continue
+		}
+		g.inData[i] = true
+	}
+}
+
+// levelize assigns topological levels to data pins (Kahn's algorithm over the
+// CSR arrays) and reports combinational cycles.
+func (g *Graph) levelize() error {
+	np := len(g.D.Pins)
+	indeg := make([]int32, np)
+	total := 0
+	for i := 0; i < np; i++ {
+		if !g.inData[i] {
+			g.level[i] = -1
+			continue
+		}
+		total++
+		indeg[i] = g.bwdOff[i+1] - g.bwdOff[i]
+	}
+	queue := make([]netlist.PinID, 0, total)
+	for i := 0; i < np; i++ {
+		if g.inData[i] && indeg[i] == 0 {
+			queue = append(queue, netlist.PinID(i))
+			g.level[i] = 0
+		}
+	}
+	g.order = g.order[:0]
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		g.order = append(g.order, p)
+		if g.level[p] > g.maxLvl {
+			g.maxLvl = g.level[p]
+		}
+		for _, a := range g.fanoutArcs(p) {
+			q := a.To
+			if l := g.level[p] + 1; l > g.level[q] {
+				g.level[q] = l
+			}
+			indeg[q]--
+			if indeg[q] == 0 {
+				queue = append(queue, q)
+			}
+		}
+	}
+	if len(g.order) != total {
+		return fmt.Errorf("timing: combinational cycle detected (%d of %d pins levelized)", len(g.order), total)
+	}
+	return nil
+}
+
+// blankState allocates a State over g with zeroed analysis arrays and the
+// design-default period and derates. Callers must establish valid arrival
+// and required times (FullUpdate or a snapshot restore) before analysis.
+func (g *Graph) blankState() *State {
+	d := g.D
+	np := len(d.Pins)
+	t := &State{
+		Graph:   g,
+		period:  d.Period,
+		workers: 1,
+	}
+	t.dEarly, t.dLate = normalizeDerates(g.M.DerateEarly, g.M.DerateLate)
+	t.atMin = make([]float64, np)
+	t.atMax = make([]float64, np)
+	t.reqMin = make([]float64, np)
+	t.reqMax = make([]float64, np)
+	t.netLoad = make([]float64, len(d.Nets))
+	t.netDirty = make([]bool, len(d.Nets))
+	t.netSeen = make([]bool, len(d.Nets))
+	t.inFwd = make([]bool, np)
+	t.inBwd = make([]bool, np)
+	t.cellDirtyMark = make([]bool, len(d.Cells))
+	t.baseLat = make([]float64, len(d.FFs))
+	t.extraLat = make([]float64, len(d.FFs))
+	t.ffDirtyMark = make([]bool, len(d.FFs))
+	t.fwdBuckets = make([][]netlist.PinID, g.maxLvl+1)
+	t.bwdBuckets = make([][]netlist.PinID, g.maxLvl+1)
+	return t
+}
+
+// NewState allocates a fresh mutable analysis state over the compiled graph,
+// restored from the pristine snapshot — observably identical to the timer
+// New returns, at a fraction of the cost (no CSR build, no levelization, no
+// propagation; just allocation and copies). States over one Graph are
+// independent: each may be driven from its own goroutine.
+func (g *Graph) NewState() *State {
+	t := g.blankState()
+	t.restoreSnapshot()
+	return t
+}
+
+// restoreSnapshot copies the pristine post-compile analysis into t.
+func (t *State) restoreSnapshot() {
+	g := t.Graph
+	copy(t.atMin, g.snapAtMin)
+	copy(t.atMax, g.snapAtMax)
+	copy(t.reqMin, g.snapReqMin)
+	copy(t.reqMax, g.snapReqMax)
+	copy(t.baseLat, g.snapBaseLat)
+	copy(t.netLoad, g.snapNetLoad)
+	copy(t.netDirty, g.snapNetDirty)
+	t.Stats = g.snapStats
+}
+
+// Reset returns the state to the pristine post-compile analysis: zero extra
+// latencies, the design's period and the model's derates, empty dirty
+// queues. It is only valid while the design has not been mutated since
+// Compile (the engine's job pool guarantees that); after physical
+// optimization, build a fresh timer instead.
+func (t *State) Reset() {
+	for i := range t.extraLat {
+		t.extraLat[i] = 0
+	}
+	t.clearDirty()
+	for lvl := range t.fwdBuckets {
+		for _, p := range t.fwdBuckets[lvl] {
+			t.inFwd[p] = false
+		}
+		t.fwdBuckets[lvl] = t.fwdBuckets[lvl][:0]
+		for _, p := range t.bwdBuckets[lvl] {
+			t.inBwd[p] = false
+		}
+		t.bwdBuckets[lvl] = t.bwdBuckets[lvl][:0]
+	}
+	t.doutValid = false
+	t.period = t.D.Period
+	t.dEarly, t.dLate = normalizeDerates(t.M.DerateEarly, t.M.DerateLate)
+	t.restoreSnapshot()
+}
+
+// Period returns the clock period the state currently analyzes under. It
+// starts at the design's period and moves only via SetPeriod.
+func (t *State) Period() float64 { return t.period }
+
+// SetPeriod retimes the state to a what-if clock period without touching the
+// shared design. Arrival times are period-independent; required times are
+// reseeded at every endpoint and re-drained incrementally, which recomputes
+// exactly the values a from-scratch update at that period would (each
+// visited pin's required time is rebuilt from its fanout, not adjusted), so
+// results are bit-identical to a fresh timer on a design with that period.
+func (t *State) SetPeriod(p float64) {
+	if p == t.period {
+		return
+	}
+	t.period = p
+	for i := range t.endpoints {
+		if pin := t.endpoints[i].Pin; t.inData[pin] {
+			t.seedBwd(pin)
+		}
+	}
+	t.Update()
+}
+
+// Derates returns the state's effective early and late analysis derates.
+func (t *State) Derates() (early, late float64) { return t.dEarly, t.dLate }
+
+// SetDerates installs what-if analysis-corner derates on the state (zero
+// values normalize to 1, matching the model convention) and re-propagates.
+// Like SetPeriod it leaves the shared design and model untouched.
+func (t *State) SetDerates(early, late float64) {
+	early, late = normalizeDerates(early, late)
+	if early == t.dEarly && late == t.dLate {
+		return
+	}
+	t.dEarly, t.dLate = early, late
+	t.doutValid = false
+	t.FullUpdate()
+}
+
+func normalizeDerates(early, late float64) (float64, float64) {
+	if early == 0 {
+		early = 1
+	}
+	if late == 0 {
+		late = 1
+	}
+	return early, late
+}

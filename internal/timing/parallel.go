@@ -38,18 +38,6 @@ func chunked(workers, n int, body func(lo, hi int)) {
 	wg.Wait()
 }
 
-// levelBuckets groups the topological order by level (computed lazily).
-func (t *Timer) levelBuckets() [][]netlist.PinID {
-	if t.lvlBuckets == nil {
-		buckets := make([][]netlist.PinID, t.maxLvl+1)
-		for _, p := range t.order {
-			buckets[t.level[p]] = append(buckets[t.level[p]], p)
-		}
-		t.lvlBuckets = buckets
-	}
-	return t.lvlBuckets
-}
-
 // FullUpdateParallel recomputes the clock network, all net loads, and all
 // arrival and required times like FullUpdate, evaluating each topological
 // level with `workers` goroutines (0 = GOMAXPROCS). Results are identical
@@ -75,7 +63,8 @@ func (t *Timer) FullUpdateParallel(workers int) {
 		t.reqMin[i] = math.Inf(-1)
 	}
 
-	buckets := t.levelBuckets()
+	// The level buckets are built eagerly at Compile and shared read-only.
+	buckets := t.lvlBuckets
 	run := func(bucket []netlist.PinID, eval func(netlist.PinID) bool) {
 		if len(bucket) < parallelBucketMin || workers == 1 {
 			for _, p := range bucket {

@@ -20,7 +20,6 @@
 package timing
 
 import (
-	"fmt"
 	"math"
 	"runtime"
 
@@ -74,23 +73,20 @@ type Counters struct {
 
 const eps = 1e-9
 
-// Timer is an STA engine bound to one design.
-type Timer struct {
-	D *netlist.Design
-	M delay.Model
+// State is the mutable half of a timer: arrival/required times, clock
+// latencies, the per-net load cache, dirty queues and all per-session
+// scratch, layered over an immutable compiled *Graph (embedded, so graph
+// topology and tables read naturally as t.level, t.fwdArc, ...). Many States
+// may share one Graph concurrently; a State itself is single-threaded
+// (its Update fans work out to its own worker pool internally).
+type State struct {
+	*Graph
 
-	// Static graph structure (topology never changes after New; only clock
-	// connectivity, positions and latencies do).
-	inData []bool  // pin participates in the data timing graph
-	level  []int32 // topological level of each data pin
-	order  []netlist.PinID
-	maxLvl int32
-
-	// CSR adjacency cache (see csr.go). Built once at New.
-	fwdOff []int32
-	fwdArc []arcRef
-	bwdOff []int32
-	bwdArc []arcRef
+	// Effective analysis parameters. They start from the design/model values
+	// at NewState and move only via SetPeriod/SetDerates, enabling what-if
+	// sessions over the shared graph.
+	period        float64
+	dEarly, dLate float64 // analysis-corner derates (1.0 when unset)
 
 	// Per-net driver load cache.
 	netLoad  []float64
@@ -103,10 +99,6 @@ type Timer struct {
 	// Clock latencies.
 	baseLat  []float64 // from the physical clock network, per FF index
 	extraLat []float64 // predictive CSS latency, per FF index
-	ffIdx    []int32   // cell -> FF index (-1 if not a FF)
-
-	endpoints  []Endpoint
-	endpointOf []EndpointID // cell -> endpoint (-1 if none)
 
 	// Pending-change queues for incremental propagation: index lists guarded
 	// by in-queue bitsets, so repeated SetExtraLatency/DirtyCell calls stay
@@ -131,12 +123,8 @@ type Timer struct {
 	doutValid bool
 
 	// Parallel-propagation state.
-	lvlBuckets [][]netlist.PinID
-	workers    int         // worker-pool width used by Update (1 = serial)
-	pool       extractPool // batch-extraction worker scratch (batch.go)
-
-	// Analysis-corner derates (from M; 1.0 when unset).
-	dEarly, dLate float64
+	workers int         // worker-pool width used by Update (1 = serial)
+	pool    extractPool // batch-extraction worker scratch (batch.go)
 
 	// Optional instrumentation recorder (nil by default: every hook below
 	// degrades to a nil check, keeping the hot paths allocation-free).
@@ -145,90 +133,22 @@ type Timer struct {
 	Stats Counters
 }
 
-// New builds a timer over d using model m and performs a full update.
-// It returns an error if the data graph contains a combinational cycle.
+// Timer is the classic single-session handle: one State over its own Graph.
+// The alias keeps every historical call site — and every method below —
+// valid under the Graph/State split.
+type Timer = State
+
+// New builds a timer over d using model m: it compiles the graph and returns
+// a fresh state, equivalent to Compile followed by NewState. It returns an
+// error if the data graph contains a combinational cycle. Callers creating
+// many sessions over one design should Compile once and call NewState per
+// session instead.
 func New(d *netlist.Design, m delay.Model) (*Timer, error) {
-	t := &Timer{
-		D:       d,
-		M:       m,
-		workers: 1,
-		dEarly:  m.DerateEarly,
-		dLate:   m.DerateLate,
-	}
-	if t.dEarly == 0 {
-		t.dEarly = 1
-	}
-	if t.dLate == 0 {
-		t.dLate = 1
-	}
-	np := len(d.Pins)
-	t.inData = make([]bool, np)
-	t.level = make([]int32, np)
-	t.atMin = make([]float64, np)
-	t.atMax = make([]float64, np)
-	t.reqMin = make([]float64, np)
-	t.reqMax = make([]float64, np)
-	t.netLoad = make([]float64, len(d.Nets))
-	t.netDirty = make([]bool, len(d.Nets))
-	t.netSeen = make([]bool, len(d.Nets))
-	t.inFwd = make([]bool, np)
-	t.inBwd = make([]bool, np)
-	t.cellDirtyMark = make([]bool, len(d.Cells))
-
-	t.ffIdx = make([]int32, len(d.Cells))
-	t.endpointOf = make([]EndpointID, len(d.Cells))
-	for i := range t.ffIdx {
-		t.ffIdx[i] = -1
-		t.endpointOf[i] = -1
-	}
-	for i, ff := range d.FFs {
-		t.ffIdx[ff] = int32(i)
-	}
-	t.baseLat = make([]float64, len(d.FFs))
-	t.extraLat = make([]float64, len(d.FFs))
-	t.ffDirtyMark = make([]bool, len(d.FFs))
-
-	for _, ff := range d.FFs {
-		t.endpointOf[ff] = EndpointID(len(t.endpoints))
-		t.endpoints = append(t.endpoints, Endpoint{Pin: d.FFData(ff), Cell: ff})
-	}
-	for _, p := range d.OutPorts {
-		t.endpointOf[p] = EndpointID(len(t.endpoints))
-		t.endpoints = append(t.endpoints, Endpoint{Pin: d.Cells[p].Pins[0], Cell: p, IsPort: true})
-	}
-
-	t.classifyPins()
-	t.buildCSR()
-	if err := t.levelize(); err != nil {
+	g, err := Compile(d, m)
+	if err != nil {
 		return nil, err
 	}
-	t.fwdBuckets = make([][]netlist.PinID, t.maxLvl+1)
-	t.bwdBuckets = make([][]netlist.PinID, t.maxLvl+1)
-
-	t.FullUpdate()
-	return t, nil
-}
-
-// classifyPins marks the pins that belong to the data timing graph.
-func (t *Timer) classifyPins() {
-	d := t.D
-	for i := range d.Pins {
-		p := netlist.PinID(i)
-		pin := &d.Pins[i]
-		kind := d.Cells[pin.Cell].Type.Kind
-		switch kind {
-		case netlist.KindLCB, netlist.KindClockRoot:
-			continue
-		case netlist.KindFF:
-			if d.Cells[pin.Cell].Pins[netlist.FFPinCK] == p {
-				continue // clock pin
-			}
-		}
-		if pin.Net != netlist.NoNet && d.Nets[pin.Net].IsClock {
-			continue
-		}
-		t.inData[i] = true
-	}
+	return g.NewState(), nil
 }
 
 // cellArcDelay returns the input→output delay of the cell owning output pin
@@ -260,52 +180,6 @@ func (t *Timer) refreshNetLoads() {
 			t.netDirty[n] = false
 		}
 	}
-}
-
-// levelize assigns topological levels to data pins (Kahn's algorithm over the
-// CSR arrays) and reports combinational cycles.
-func (t *Timer) levelize() error {
-	np := len(t.D.Pins)
-	indeg := make([]int32, np)
-	total := 0
-	for i := 0; i < np; i++ {
-		if !t.inData[i] {
-			t.level[i] = -1
-			continue
-		}
-		total++
-		indeg[i] = t.bwdOff[i+1] - t.bwdOff[i]
-	}
-	queue := make([]netlist.PinID, 0, total)
-	for i := 0; i < np; i++ {
-		if t.inData[i] && indeg[i] == 0 {
-			queue = append(queue, netlist.PinID(i))
-			t.level[i] = 0
-		}
-	}
-	t.order = t.order[:0]
-	for len(queue) > 0 {
-		p := queue[0]
-		queue = queue[1:]
-		t.order = append(t.order, p)
-		if t.level[p] > t.maxLvl {
-			t.maxLvl = t.level[p]
-		}
-		for _, a := range t.fanoutArcs(p) {
-			q := a.To
-			if l := t.level[p] + 1; l > t.level[q] {
-				t.level[q] = l
-			}
-			indeg[q]--
-			if indeg[q] == 0 {
-				queue = append(queue, q)
-			}
-		}
-	}
-	if len(t.order) != total {
-		return fmt.Errorf("timing: combinational cycle detected (%d of %d pins levelized)", len(t.order), total)
-	}
-	return nil
 }
 
 // SetWorkers sets the worker-pool width used by incremental Update and the
@@ -560,11 +434,11 @@ func (t *Timer) endpointRequired(p netlist.PinID) (reqLate, reqEarly float64, ok
 	case netlist.KindFF:
 		if cell.Pins[netlist.FFPinD] == p {
 			l := t.Latency(pin.Cell)
-			return l + d.Period - cell.Type.Setup, l + cell.Type.Hold, true
+			return l + t.period - cell.Type.Setup, l + cell.Type.Hold, true
 		}
 	case netlist.KindPortOut:
 		od := d.OutDelay[pin.Cell]
-		return d.PortLatency + d.Period - od, d.PortLatency, true
+		return d.PortLatency + t.period - od, d.PortLatency, true
 	}
 	return 0, 0, false
 }
@@ -813,12 +687,6 @@ func (t *Timer) runBackward() (int, int) {
 	}
 	return visited, levels
 }
-
-// Endpoints returns the endpoint table (shared; do not modify).
-func (t *Timer) Endpoints() []Endpoint { return t.endpoints }
-
-// EndpointOf returns the endpoint of a flip-flop or output port.
-func (t *Timer) EndpointOf(c netlist.CellID) EndpointID { return t.endpointOf[c] }
 
 // LateSlack returns the setup slack of an endpoint: required − max arrival.
 // Endpoints with no arriving path have +Inf slack.

@@ -30,6 +30,7 @@ import (
 	"iterskew/internal/core"
 	"iterskew/internal/cts"
 	"iterskew/internal/delay"
+	"iterskew/internal/engine"
 	"iterskew/internal/eval"
 	"iterskew/internal/flow"
 	"iterskew/internal/fpm"
@@ -38,6 +39,7 @@ import (
 	"iterskew/internal/netlist"
 	"iterskew/internal/obs"
 	"iterskew/internal/opt"
+	"iterskew/internal/sched"
 	"iterskew/internal/timing"
 )
 
@@ -49,10 +51,30 @@ type (
 	Design = netlist.Design
 	// CellID identifies a cell within a Design.
 	CellID = netlist.CellID
-	// Timer is the static timing engine.
+	// Timer is the static timing engine: a mutable per-session State over a
+	// shared immutable TimingGraph.
 	Timer = timing.Timer
+	// TimingGraph is the immutable compiled half of the timer — topology,
+	// adjacency, levels and the pristine timing snapshot. One graph can back
+	// any number of concurrent Timer states (TimingGraph.NewState).
+	TimingGraph = timing.Graph
 	// Mode selects early (hold) or late (setup) analysis.
 	Mode = timing.Mode
+	// Scheduler is the contract every CSS implementation satisfies; the
+	// three bundled schedulers are exposed as CoreScheduler, ICCSSScheduler
+	// and FPMScheduler.
+	Scheduler = sched.Scheduler
+
+	// Engine is the compile-once/schedule-many session layer: one compiled
+	// TimingGraph serving many concurrent scheduling sessions on pooled
+	// states.
+	Engine = engine.Engine
+	// EngineConfig tunes an Engine (in-flight bound, per-state workers).
+	EngineConfig = engine.Config
+	// EngineJob describes one Engine scheduling session.
+	EngineJob = engine.Job
+	// EngineJobResult pairs one Engine.RunAll job with its error.
+	EngineJobResult = engine.JobResult
 	// DelayModel is the Elmore interconnect model.
 	DelayModel = delay.Model
 
@@ -161,8 +183,31 @@ func SuperblueNames() []string { return bench.SuperblueNames() }
 // GenerateBenchmark builds a deterministic synthetic benchmark design.
 func GenerateBenchmark(p Profile) (*Design, error) { return bench.Generate(p) }
 
-// NewTimer builds a timer over the design using the default delay model.
+// NewTimer builds a timer over the design using the default delay model
+// (equivalent to Compile followed by TimingGraph.NewState).
 func NewTimer(d *Design) (*Timer, error) { return timing.New(d, delay.Default()) }
+
+// Compile builds the immutable timing graph for the design under the
+// default delay model. Call NewState on it for each (possibly concurrent)
+// analysis session.
+func Compile(d *Design) (*TimingGraph, error) { return timing.Compile(d, delay.Default()) }
+
+// NewEngine compiles the design once and returns a session engine for
+// concurrent schedule-many workloads.
+func NewEngine(d *Design, cfg EngineConfig) (*Engine, error) {
+	return engine.New(d, delay.Default(), cfg)
+}
+
+// The bundled schedulers as Scheduler values, for use in EngineJob or any
+// code written against the interface.
+var (
+	// CoreScheduler is the paper's iterative algorithm (Alg 1).
+	CoreScheduler Scheduler = core.Scheduler
+	// ICCSSScheduler is the IC-CSS+ baseline (§III-E).
+	ICCSSScheduler Scheduler = iccss.Scheduler
+	// FPMScheduler is the FPM baseline (early violations only).
+	FPMScheduler Scheduler = fpm.Scheduler
+)
 
 // DegenerateInputError is returned by the schedulers for inputs that clock
 // skew scheduling cannot meaningfully process: zero-FF designs, non-positive
@@ -178,8 +223,9 @@ func ScheduleSkew(tm *Timer, o ScheduleOptions) (*ScheduleResult, error) { retur
 // return a *DegenerateInputError.
 func ScheduleICCSS(tm *Timer, o ICCSSOptions) (*ICCSSResult, error) { return iccss.Schedule(tm, o) }
 
-// ScheduleFPM runs the FPM baseline (early violations only).
-func ScheduleFPM(tm *Timer, o FPMOptions) *FPMResult { return fpm.Schedule(tm, o) }
+// ScheduleFPM runs the FPM baseline (early violations only). Degenerate
+// designs return a *DegenerateInputError, matching the other schedulers.
+func ScheduleFPM(tm *Timer, o FPMOptions) (*FPMResult, error) { return fpm.Schedule(tm, o) }
 
 // Optimize realizes target latencies physically: LCB–FF reconnection plus
 // cell movement (§IV). It clears all predictive latencies.

@@ -48,3 +48,12 @@ func mustICCSSSchedule(tb testing.TB, tm *timing.Timer, o iccss.Options) *iccss.
 	}
 	return res
 }
+
+func mustScheduleFPM(tb testing.TB, tm *iterskew.Timer, o iterskew.FPMOptions) *iterskew.FPMResult {
+	tb.Helper()
+	res, err := iterskew.ScheduleFPM(tm, o)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}

@@ -1,0 +1,114 @@
+// Compile-once/schedule-many benchmarks: the cost of opening a scheduling
+// session on an existing compiled timing.Graph (NewState) versus a full
+// timer build (timing.New), plus a guard test that the pooled path keeps a
+// healthy amortization margin on a superblue-profile design.
+package iterskew_test
+
+import (
+	"testing"
+	"time"
+
+	"iterskew"
+	"iterskew/internal/delay"
+	"iterskew/internal/engine"
+	"iterskew/internal/sched"
+	"iterskew/internal/timing"
+)
+
+func sessionBenchDesign(tb testing.TB) *iterskew.Design {
+	tb.Helper()
+	p, err := iterskew.SuperblueProfile("superblue18", benchScale)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	d, err := iterskew.GenerateBenchmark(p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkSession_TimingNew is the pre-refactor per-session cost: a full
+// graph build (CSR, levelization, classification) plus the bootstrap STA.
+func BenchmarkSession_TimingNew(b *testing.B) {
+	d := sessionBenchDesign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := timing.New(d, delay.Default()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSession_GraphNewState is the compile-once path: the graph is
+// built once outside the loop, each session only copies the pristine
+// snapshot into fresh state arrays.
+func BenchmarkSession_GraphNewState(b *testing.B) {
+	d := sessionBenchDesign(b)
+	g, err := timing.Compile(d, delay.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.NewState()
+	}
+}
+
+// BenchmarkSession_EngineRun measures a full pooled scheduling session:
+// acquire a recycled state, run the paper's scheduler, reset and release.
+func BenchmarkSession_EngineRun(b *testing.B) {
+	d := sessionBenchDesign(b)
+	e, err := engine.New(d, delay.Default(), engine.Config{MaxInFlight: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	job := engine.Job{Options: sched.Options{Mode: timing.Early}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(job); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestNewStateAmortization guards the refactor's dividend: opening a session
+// on a compiled graph must be far cheaper than a full timing.New build on a
+// superblue-profile design. The acceptance target is 5x; measured margins
+// are ~15x, so 3x here keeps the guard insensitive to host noise.
+func TestNewStateAmortization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	d := sessionBenchDesign(t)
+	g, err := timing.Compile(d, delay.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const reps = 5
+	// Warm both paths once so neither pays first-touch costs in the
+	// measured loop.
+	if _, err := timing.New(d, delay.Default()); err != nil {
+		t.Fatal(err)
+	}
+	g.NewState()
+
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := timing.New(d, delay.Default()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := time.Since(start)
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		g.NewState()
+	}
+	pooled := time.Since(start)
+
+	ratio := float64(full) / float64(pooled)
+	t.Logf("timing.New %v vs Graph.NewState %v per session (%.1fx)", full/reps, pooled/reps, ratio)
+	if ratio < 3 {
+		t.Errorf("NewState only %.1fx cheaper than timing.New, want >= 3x (acceptance target 5x)", ratio)
+	}
+}
