@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench fuzz-smoke oracle-check obs-smoke engine-smoke
+.PHONY: ci vet build test race bench fuzz-smoke oracle-check obs-smoke engine-smoke cancel-smoke
 
-ci: vet build test race fuzz-smoke obs-smoke engine-smoke oracle-check
+ci: vet build test race fuzz-smoke obs-smoke engine-smoke cancel-smoke oracle-check
 
 vet:
 	$(GO) vet ./...
@@ -14,10 +14,11 @@ test:
 	$(GO) test ./...
 
 # The concurrency-bearing packages (worker-pool extraction, parallel
-# incremental propagation, the shared metrics recorder, and the
-# compile-once/schedule-many session engine) must stay race-clean.
+# incremental propagation, the shared metrics recorder, the
+# compile-once/schedule-many session engine, and the context-threading flow)
+# must stay race-clean.
 race:
-	$(GO) test -race ./internal/timing ./internal/core ./internal/obs ./internal/engine
+	$(GO) test -race ./internal/timing ./internal/core ./internal/obs ./internal/engine ./internal/flow
 
 bench:
 	$(GO) test -bench 'ExtractEssentialBatch|IncrementalUpdate|CSRPropagation' -benchmem .
@@ -57,6 +58,22 @@ obs-smoke:
 	echo "obs-smoke: /debug/vars ok, /debug/pprof/ ok"
 	$(OBS_TMP)/cssbench -checktrace $(OBS_TMP)/trace.json
 	@test -s $(OBS_TMP)/events.jsonl && echo "obs-smoke: events.jsonl non-empty"
+
+# Cancellation smoke: an aggressively-bounded run must exit cleanly with a
+# partial result — every row present, stop_reason recorded in the JSON, and
+# at least one scheduler actually cut off by its deadline.
+CANCEL_TMP ?= /tmp/iterskew-cancel-smoke
+cancel-smoke:
+	rm -rf $(CANCEL_TMP) && mkdir -p $(CANCEL_TMP)
+	$(GO) build -o $(CANCEL_TMP)/cssbench ./cmd/cssbench
+	$(CANCEL_TMP)/cssbench -scale 0.02 -designs superblue18 -timeout 5ms \
+	    -json $(CANCEL_TMP)/bench.json > $(CANCEL_TMP)/stdout.txt 2>&1 || \
+	    { echo "cancel-smoke: cssbench failed under -timeout"; cat $(CANCEL_TMP)/stdout.txt; exit 1; }
+	@grep -q '"stop_reason": "deadline"' $(CANCEL_TMP)/bench.json || \
+	    { echo "cancel-smoke: no run reported stop_reason=deadline"; cat $(CANCEL_TMP)/bench.json; exit 1; }
+	@grep -c '"stop_reason"' $(CANCEL_TMP)/bench.json | grep -qx 5 || \
+	    { echo "cancel-smoke: expected 5 rows (one per method)"; exit 1; }
+	@echo "cancel-smoke: clean exit, partial results, deadline stop_reason recorded"
 
 # Concurrent-session smoke: 8 simultaneous mixed-method scheduling sessions
 # over one shared compiled graph, byte-compared against dedicated serial

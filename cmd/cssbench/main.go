@@ -10,6 +10,12 @@
 //	go run ./cmd/cssbench -designs superblue18,superblue5
 //	go run ./cmd/cssbench -sweep         # §III-D complexity sweep instead
 //	go run ./cmd/cssbench -sessions 8    # concurrent-session benchmark instead
+//	go run ./cmd/cssbench -timeout 50ms  # bound each run; partial results
+//
+// With -timeout each flow run gets its own wall-clock budget: the schedulers
+// stop cooperatively at the deadline and report a consistent partial result,
+// so the table still completes (rows carry a [deadline] marker and the -json
+// output a "stop_reason" field — the cancel-smoke CI target relies on this).
 //
 // The -sessions mode exercises the compile-once/schedule-many engine: it
 // measures the amortized cost of a pooled session (timing.Graph.NewState)
@@ -20,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
@@ -57,6 +64,7 @@ func main() {
 	eventsPath := flag.String("events", "", "write per-round JSONL events to this file")
 	httpAddr := flag.String("httpaddr", "", "serve net/http/pprof and expvar live counters on this address during the run")
 	progress := flag.Bool("progress", false, "print one line per scheduling round to stderr")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget per flow run (0 = none): schedulers stop cooperatively and report partial results")
 	checkTrace := flag.String("checktrace", "", "validate a trace file written by -trace (round + worker span coverage) and exit")
 	flag.Parse()
 
@@ -182,7 +190,15 @@ func main() {
 		var base *iterskew.FlowReport
 		for _, m := range methods {
 			rec.SetPhase(name + "/" + m.String())
-			rep, err := iterskew.RunFlow(d, iterskew.FlowConfig{Method: m, Workers: *workers, Recorder: rec, Log: logW})
+			cfg := iterskew.FlowConfig{Method: m, Workers: *workers, Recorder: rec, Log: logW}
+			var cancel context.CancelFunc
+			if *timeout > 0 {
+				cfg.Context, cancel = context.WithTimeout(context.Background(), *timeout)
+			}
+			rep, err := iterskew.RunFlow(d, cfg)
+			if cancel != nil {
+				cancel()
+			}
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -194,10 +210,14 @@ func main() {
 				base = rep
 			}
 			f := rep.Final
-			fmt.Printf("%-12s %-11s | %9.2f %10.2f | %9.3f %10.2f | %8.3f %8.3f %8.3f | %9d | %7.4f\n",
+			mark := ""
+			if rep.StopReason.Interrupted() {
+				mark = "  [" + rep.StopReason.String() + "]"
+			}
+			fmt.Printf("%-12s %-11s | %9.2f %10.2f | %9.3f %10.2f | %8.3f %8.3f %8.3f | %9d | %7.4f%s\n",
 				"", m, f.WNSEarly, f.TNSEarly, f.WNSLate/1000, f.TNSLate/1000,
 				rep.CSSTime.Seconds(), rep.OptTime.Seconds(), rep.Total.Seconds(),
-				rep.ExtractedEdges, rep.HPWLIncrPct)
+				rep.ExtractedEdges, rep.HPWLIncrPct, mark)
 			if cw != nil {
 				cw.Write([]string{
 					name, m.String(),
@@ -215,6 +235,7 @@ func main() {
 					CSSSec: rep.CSSTime.Seconds(), OptSec: rep.OptTime.Seconds(),
 					TotalSec: rep.Total.Seconds(), Edges: rep.ExtractedEdges,
 					HPWLIncrPct: rep.HPWLIncrPct, Rounds: rep.Rounds,
+					StopReason: rep.StopReason.String(),
 				})
 			}
 
@@ -281,6 +302,7 @@ type rowJSON struct {
 	Edges       int64   `json:"edges"`
 	HPWLIncrPct float64 `json:"hpwl_incr_pct"`
 	Rounds      int     `json:"rounds"`
+	StopReason  string  `json:"stop_reason"`
 }
 
 // microJSON is one timer hot-path measurement.

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"iterskew/internal/bench"
+	"iterskew/internal/delay"
+	"iterskew/internal/netlist"
+	"iterskew/internal/sched"
+	"iterskew/internal/timing"
+)
+
+// genTimer builds a scaled superblue18 timer — the only fixture in this
+// package whose late schedule needs many rounds (the buildChain pipelines
+// converge in two), so cancellation can land mid-run.
+func genTimer(t testing.TB) (*netlist.Design, *timing.Timer) {
+	t.Helper()
+	p, err := bench.Superblue("superblue18", 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := bench.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := timing.New(d, delay.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, tm
+}
+
+// TestCancelMidRunConsistent: cancelling via Progress mid-run stops at the
+// next round boundary with StopReason=cancelled and a consistent partial
+// result — the reported Target matches the latencies actually applied on
+// the timer, and re-running Update is a no-op.
+func TestCancelMidRunConsistent(t *testing.T) {
+	d, ref := genTimer(t)
+	full := mustSchedule(t, ref, Options{Mode: timing.Late, StallRounds: -1, MaxRounds: 60})
+	if full.Rounds < 4 {
+		t.Fatalf("fixture converges in %d rounds; too fast to cancel mid-run", full.Rounds)
+	}
+
+	_, tm := genTimer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res := mustSchedule(t, tm, Options{
+		Mode: timing.Late, StallRounds: -1, MaxRounds: 60, Context: ctx,
+		Progress: func(st IterStats) {
+			if st.Round >= 1 {
+				cancel()
+			}
+		},
+	})
+
+	if res.StopReason != sched.StopCancelled {
+		t.Fatalf("StopReason = %v, want %v", res.StopReason, sched.StopCancelled)
+	}
+	if res.Rounds >= full.Rounds {
+		t.Errorf("cancelled run took %d rounds, full run %d — cancel had no effect", res.Rounds, full.Rounds)
+	}
+	for _, ff := range d.FFs {
+		if got, want := tm.ExtraLatency(ff), res.Target[ff]; got != want {
+			t.Errorf("ff %d: applied latency %v != Target %v", ff, got, want)
+		}
+	}
+	if n := tm.Update(); n != 0 {
+		t.Errorf("Update after cancelled run repropagated %d pins, want 0 (propagation not drained)", n)
+	}
+}
+
+// TestDeadlineAlreadyPassed: a pre-expired Options.Deadline stops the run
+// before the first round, with nothing applied.
+func TestDeadlineAlreadyPassed(t *testing.T) {
+	c := buildChain(t, 300, []int{20, 2})
+	tm := newTimer(t, c.d)
+	res := mustSchedule(t, tm, Options{Mode: timing.Late, Deadline: time.Now().Add(-time.Second)})
+	if res.StopReason != sched.StopDeadline {
+		t.Fatalf("StopReason = %v, want %v", res.StopReason, sched.StopDeadline)
+	}
+	if res.Rounds != 0 || len(res.Target) != 0 {
+		t.Errorf("pre-expired deadline still ran: rounds=%d targets=%d", res.Rounds, len(res.Target))
+	}
+	if n := tm.Update(); n != 0 {
+		t.Errorf("Update repropagated %d pins on an untouched timer", n)
+	}
+}
+
+// TestStopReasonConvergedOnFinalRound: a run that converges exactly when
+// Rounds == MaxRounds must report converged, not round-cap (the old
+// termination log keyed on the round count alone and got this wrong).
+func TestStopReasonConvergedOnFinalRound(t *testing.T) {
+	c := buildChain(t, 300, []int{20, 2})
+	tm := newTimer(t, c.d)
+	ref := mustSchedule(t, tm, Options{Mode: timing.Late, StallRounds: -1})
+	if ref.StopReason != sched.StopConverged {
+		t.Fatalf("reference run: StopReason = %v, want converged", ref.StopReason)
+	}
+
+	c2 := buildChain(t, 300, []int{20, 2})
+	tm2 := newTimer(t, c2.d)
+	onCap := mustSchedule(t, tm2, Options{Mode: timing.Late, StallRounds: -1, MaxRounds: ref.Rounds})
+	if onCap.Rounds != ref.Rounds {
+		t.Fatalf("capped run took %d rounds, reference %d", onCap.Rounds, ref.Rounds)
+	}
+	if onCap.StopReason != sched.StopConverged {
+		t.Errorf("converged exactly on the final round reported %v, want converged", onCap.StopReason)
+	}
+}
+
+// TestStopReasonRoundCapAndStalled: a true cap reports round-cap; a
+// plateauing run under a tight guard reports stalled.
+func TestStopReasonRoundCapAndStalled(t *testing.T) {
+	_, tm := genTimer(t)
+	capped := mustSchedule(t, tm, Options{Mode: timing.Late, StallRounds: -1, MaxRounds: 2})
+	if capped.Rounds != 2 || capped.StopReason != sched.StopRoundCap {
+		t.Errorf("true cap: rounds=%d reason=%v, want 2/round-cap", capped.Rounds, capped.StopReason)
+	}
+
+	c2 := buildChain(t, 300, []int{20, 2, 15, 3})
+	tm2 := newTimer(t, c2.d)
+	stalled := mustSchedule(t, tm2, Options{Mode: timing.Late, StallRounds: 1, MaxRounds: 40})
+	if stalled.StopReason != sched.StopStalled {
+		t.Errorf("plateau under StallRounds=1 reported %v, want stalled", stalled.StopReason)
+	}
+}
+
+// TestWorkersOptionRestored: Options.Workers installs the width on the timer
+// for the run and restores the prior width afterwards.
+func TestWorkersOptionRestored(t *testing.T) {
+	c := buildChain(t, 300, []int{20, 2})
+	tm := newTimer(t, c.d)
+	tm.SetWorkers(1)
+
+	seen := 0
+	res := mustSchedule(t, tm, Options{
+		Mode: timing.Late, Workers: 3,
+		Progress: func(IterStats) { seen = tm.Workers() },
+	})
+	if seen != 3 {
+		t.Errorf("timer width during the run = %d, want Options.Workers = 3", seen)
+	}
+	if tm.Workers() != 1 {
+		t.Errorf("timer width after the run = %d, want the prior width 1", tm.Workers())
+	}
+	if len(res.Target) == 0 {
+		t.Error("run produced no schedule")
+	}
+}
+
+// TestStallTrackerCycleThenPlateau is the regression for the stale-baseline
+// bug: cycle-freezing rounds used to leave the TNS baseline at its
+// pre-freeze value (the cycle branch continued past the update), so the
+// round after a cycle fix measured a huge spurious gain and wrongly reset
+// the stall counter.
+func TestStallTrackerCycleThenPlateau(t *testing.T) {
+	s := &stallTracker{limit: 2, prev: -1000}
+
+	// Plateau round: gain 0.1 < max(1, 0.1) counts toward the guard.
+	if gain, stop := s.observe(-999.9); stop || gain >= 1 {
+		t.Fatalf("plateau round: gain=%v stop=%v, want sub-threshold, no stop", gain, stop)
+	}
+	if s.count != 1 {
+		t.Fatalf("stall count = %d after one plateau round, want 1", s.count)
+	}
+
+	// Cycle round: Eq-9 freezing jumps TNS to -500. The baseline must
+	// refresh, but structural progress never counts toward the guard.
+	s.observeCycle(-500)
+	if s.count != 1 {
+		t.Fatalf("cycle round changed the stall count: %d", s.count)
+	}
+
+	// Post-cycle plateau: against the refreshed baseline the gain is 0.05;
+	// against the stale pre-freeze baseline it would read +500.05 and reset
+	// the counter instead of tripping the guard.
+	gain, stop := s.observe(-499.95)
+	if gain >= 1 {
+		t.Fatalf("cycle round did not refresh the baseline: post-cycle gain=%v", gain)
+	}
+	if !stop {
+		t.Fatalf("guard did not trip on the post-cycle plateau (count=%d)", s.count)
+	}
+
+	// A disabled guard (negative limit) neither counts nor tracks.
+	d := &stallTracker{limit: -1, prev: 42}
+	if _, stop := d.observe(42); stop || d.count != 0 {
+		t.Error("disabled guard counted a round")
+	}
+	d.observeCycle(7)
+	if d.prev != 42 {
+		t.Error("disabled guard mutated its baseline")
+	}
+}
+
+// TestCycleRoundDoesNotTripGuard: on a pure ring the Eq-9 equalization
+// preserves TNS, so under the tightest guard the cycle round itself must
+// not stop the run — the ring still converges with its cycle frozen.
+func TestCycleRoundDoesNotTripGuard(t *testing.T) {
+	d, _, _ := buildRing(t, 352, 30, 20)
+	tm := newTimer(t, d)
+	res := mustSchedule(t, tm, Options{Mode: timing.Late, StallRounds: 1})
+	if res.Cycles == 0 {
+		t.Fatal("ring cycle not handled")
+	}
+	if res.StopReason == sched.StopStalled && res.Rounds <= 1 {
+		t.Errorf("cycle-freezing round tripped the stall guard: rounds=%d reason=%v",
+			res.Rounds, res.StopReason)
+	}
+}

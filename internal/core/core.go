@@ -60,6 +60,44 @@ func ValidateInput(d *netlist.Design) error { return sched.ValidateInput(d) }
 // for callers (the engine) that dispatch on method dynamically.
 var Scheduler sched.Scheduler = sched.Func(Schedule)
 
+// stallTracker implements the TNS stall guard: a round makes progress when
+// its TNS gain over the previous round's baseline is at least
+// max(1 ps, 0.01%·|TNS|). Cycle-freezing rounds refresh the baseline (Eq-9
+// equalization can redistribute slack without moving TNS, so the following
+// round must not be measured against a stale pre-freeze value) but never
+// count toward the guard — a frozen cycle is structural progress. A
+// non-positive limit disables the guard entirely.
+type stallTracker struct {
+	limit int
+	prev  float64
+	count int
+}
+
+// observe folds one non-cycle round's TNS into the guard, returning the gain
+// over the baseline and whether the guard has tripped.
+func (s *stallTracker) observe(tns float64) (gain float64, stop bool) {
+	if s.limit <= 0 {
+		return math.Inf(1), false
+	}
+	gain = tns - s.prev
+	if gain < math.Max(1, 1e-4*math.Abs(tns)) {
+		s.count++
+	} else {
+		s.count = 0
+	}
+	s.prev = tns
+	return gain, s.count >= s.limit
+}
+
+// observeCycle refreshes the baseline after a cycle-freezing round without
+// counting it.
+func (s *stallTracker) observeCycle(tns float64) {
+	if s.limit <= 0 {
+		return
+	}
+	s.prev = tns
+}
+
 // isPortCell reports whether a cell is an I/O supernode.
 func isPortCell(d *netlist.Design, c netlist.CellID) bool {
 	k := d.Cells[c].Type.Kind
@@ -84,6 +122,23 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 		rec = tm.Recorder()
 	}
 	runSp := rec.StartSpan(obs.SpanSchedule)
+	// Cooperative cancellation: the amortized stop hook is installed on the
+	// timer only when a context or deadline is present, so uncancelled runs
+	// execute exactly the code they always did.
+	cc := opts.Canceller()
+	if cc.Active() {
+		prevCheck := tm.Check()
+		tm.SetCheck(cc.Stop)
+		defer tm.SetCheck(prevCheck)
+	}
+	// Options.Workers covers incremental propagation as well as batch
+	// extraction; the prior width is restored on return so per-run widths
+	// cannot leak to later users of the timer.
+	if opts.Workers != 0 {
+		prevWorkers := tm.Workers()
+		tm.SetWorkers(opts.Workers)
+		defer tm.SetWorkers(prevWorkers)
+	}
 	logf := func(format string, args ...any) {
 		if opts.Log != nil {
 			fmt.Fprintf(opts.Log, format+"\n", args...)
@@ -187,10 +242,15 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 		opts.StallRounds = 3
 	}
 	_, prevTNS := tm.WNSTNS(opts.Mode)
-	stall := 0
+	stall := &stallTracker{limit: opts.StallRounds, prev: prevTNS}
 
+	res.StopReason = sched.StopRoundCap
 	finalSweepDone := false
 	for round := 0; round < opts.MaxRounds; round++ {
+		if r, stop := cc.Reason(); stop {
+			res.StopReason = r
+			break
+		}
 		roundSp := rec.StartSpan(obs.SpanRound)
 		newEdges := extract(false)
 
@@ -275,8 +335,14 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 			res.PerIter = append(res.PerIter, st)
 			res.Rounds = round + 1
 			_ = changed
+			// Cycle rounds refresh the stall baseline: the Eq-9 equalization
+			// redistributes slack without necessarily moving TNS, so the next
+			// round must measure its gain against the post-freeze state — but
+			// freezing a cycle is structural progress, so the round neither
+			// counts toward nor triggers the guard.
+			stall.observeCycle(st.TNS)
 			rec.Instant("css.cycle_frozen", "len", int64(st.CycleLen))
-			emitRound(st, stall)
+			emitRound(st, stall.count)
 			logf("css[%v] round %d: cycle of %d frozen (mean %.3f) wns=%.2f tns=%.2f pins=%d",
 				opts.Mode, round, st.CycleLen, tMean, st.WNS, st.TNS, st.TimerPins)
 			roundSp.EndArg2("round", int64(round), "cycle_len", int64(st.CycleLen))
@@ -314,27 +380,17 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 		res.PerIter = append(res.PerIter, st)
 		res.Rounds = round + 1
 
-		gain := math.Inf(1)
-		if opts.StallRounds > 0 {
-			gain = st.TNS - prevTNS
-			if gain < math.Max(1, 1e-4*math.Abs(st.TNS)) {
-				stall++
-			} else {
-				stall = 0
-			}
-		}
-		emitRound(st, stall)
+		gain, stalled := stall.observe(st.TNS)
+		emitRound(st, stall.count)
 		logf("css[%v] round %d: wns=%.2f tns=%.2f edges+%d raised=%d clamped=%d maxInc=%.3f pins=%d gain=%.3f stall=%d/%d",
 			opts.Mode, round, st.WNS, st.TNS, st.NewEdges, st.Raised, st.Clamped,
-			st.MaxInc, st.TimerPins, gain, stall, opts.StallRounds)
+			st.MaxInc, st.TimerPins, gain, stall.count, opts.StallRounds)
 		roundSp.EndArg2("round", int64(round), "raised", int64(st.Raised))
-		if opts.StallRounds > 0 {
-			if stall >= opts.StallRounds {
-				logf("css[%v] stall guard: %d consecutive rounds with TNS gain < max(1, 0.01%%·|TNS|) — stopping at round %d (StallRounds=%d)",
-					opts.Mode, stall, round, opts.StallRounds)
-				break
-			}
-			prevTNS = st.TNS
+		if stalled {
+			res.StopReason = sched.StopStalled
+			logf("css[%v] stall guard: %d consecutive rounds with TNS gain < max(1, 0.01%%·|TNS|) — stopping at round %d (StallRounds=%d)",
+				opts.Mode, stall.count, round, opts.StallRounds)
+			break
 		}
 
 		if maxInc <= eps {
@@ -343,11 +399,13 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 			// have newly crossed zero without moving any endpoint's worst
 			// slack (so the "newly violated" filter skipped it).
 			if finalSweepDone {
+				res.StopReason = sched.StopConverged
 				logf("css[%v] converged: no increments after forced sweep — stopping at round %d", opts.Mode, round)
 				break
 			}
 			finalSweepDone = true
 			if extra := extract(true); extra == 0 {
+				res.StopReason = sched.StopConverged
 				logf("css[%v] converged: no increments and no new essential edges — stopping at round %d", opts.Mode, round)
 				break
 			}
@@ -357,7 +415,16 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 		}
 		finalSweepDone = false
 	}
-	if res.Rounds == opts.MaxRounds {
+	if res.StopReason.Interrupted() {
+		// A cancellation noticed inside Update/extraction leaves the timer's
+		// worklist partially drained; finish the propagation (hook off) so
+		// Result.Target matches the applied latencies and a further Update
+		// is a no-op — the partial result is a usable anytime answer.
+		tm.SetCheck(nil)
+		tm.Update()
+		logf("css[%v] stopping: %s after round %d — returning consistent partial result",
+			opts.Mode, res.StopReason, res.Rounds)
+	} else if res.StopReason == sched.StopRoundCap {
 		logf("css[%v] stopping: round cap reached (MaxRounds=%d)", opts.Mode, opts.MaxRounds)
 	}
 

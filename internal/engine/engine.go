@@ -10,9 +10,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"iterskew/internal/core"
 	"iterskew/internal/delay"
@@ -20,6 +23,20 @@ import (
 	"iterskew/internal/sched"
 	"iterskew/internal/timing"
 )
+
+// PanicError is a panic recovered from a session callback or scheduler. The
+// engine converts panics to errors so one crashing job cannot take down the
+// process (or its sibling sessions); the state the panic ran on is discarded
+// rather than recycled, since a panic can leave it half-mutated.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // the panicking goroutine's stack
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("session panicked: %v", e.Value)
+}
 
 // Config tunes an Engine.
 type Config struct {
@@ -39,9 +56,10 @@ type Engine struct {
 	workers int
 	slots   chan struct{}
 
-	mu      sync.Mutex
-	free    []*timing.State
-	created int
+	mu        sync.Mutex
+	free      []*timing.State
+	created   int
+	discarded int
 }
 
 // New compiles the design once and returns an engine ready to run sessions
@@ -80,6 +98,15 @@ func (e *Engine) StatesCreated() int {
 	return e.created
 }
 
+// StatesDiscarded reports how many states were thrown away because a session
+// panicked on them (a panic can leave a state half-mutated, so it is never
+// returned to the pool).
+func (e *Engine) StatesDiscarded() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.discarded
+}
+
 // acquire pops a pooled state or creates a fresh one.
 func (e *Engine) acquire() *timing.State {
 	e.mu.Lock()
@@ -102,6 +129,16 @@ func (e *Engine) acquire() *timing.State {
 // pool.
 func (e *Engine) release(s *timing.State) {
 	s.SetRecorder(nil)
+	s.SetCheck(nil)
+	// Reassert the engine-configured width: a per-job Options.Workers (or a
+	// scheduler that never reached its width restore) must not leak across
+	// pooled sessions. Config.Workers == 0 means serial states (width 1),
+	// matching what acquire hands out.
+	if w := e.workers; w != 0 {
+		s.SetWorkers(w)
+	} else {
+		s.SetWorkers(1)
+	}
 	s.Reset()
 	e.mu.Lock()
 	e.free = append(e.free, s)
@@ -110,13 +147,56 @@ func (e *Engine) release(s *timing.State) {
 
 // Session runs fn on a pooled state, blocking first if MaxInFlight sessions
 // are already running. The state is valid only for the duration of fn; it
-// is reset and recycled afterwards, so fn must not retain it.
+// is reset and recycled afterwards, so fn must not retain it. A panic in fn
+// is recovered into a *PanicError and the state is discarded, not recycled.
 func (e *Engine) Session(fn func(tm *timing.Timer) error) error {
-	e.slots <- struct{}{}
+	return e.SessionContext(context.Background(), fn)
+}
+
+// SessionContext is Session with cancellable slot acquisition: if ctx is
+// done before a slot frees up, it returns ctx's error without ever taking a
+// state. ctx does NOT cancel fn itself — pass it through sched.Options
+// (or Job.Options.Context) for cooperative in-run cancellation.
+func (e *Engine) SessionContext(ctx context.Context, fn func(tm *timing.Timer) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// A free slot always wins over an already-done context: the context only
+	// aborts an actual wait. With a slot in hand an expired deadline is the
+	// schedulers' business — they stop cooperatively and return a partial
+	// result instead of an error.
+	select {
+	case e.slots <- struct{}{}:
+	default:
+		select {
+		case e.slots <- struct{}{}:
+		case <-ctx.Done():
+			return fmt.Errorf("session slot: %w", ctx.Err())
+		}
+	}
 	defer func() { <-e.slots }()
 	s := e.acquire()
-	defer e.release(s)
-	return fn(s)
+	err, panicked := runGuarded(s, fn)
+	if panicked {
+		e.mu.Lock()
+		e.discarded++
+		e.mu.Unlock()
+		return err
+	}
+	e.release(s)
+	return err
+}
+
+// runGuarded invokes fn with panic isolation, reporting whether the state it
+// ran on is now suspect.
+func runGuarded(s *timing.State, fn func(tm *timing.Timer) error) (err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+			panicked = true
+		}
+	}()
+	return fn(s), false
 }
 
 // Job describes one scheduling session: which scheduler to run, with what
@@ -135,12 +215,31 @@ type Job struct {
 	// delay derate for this session; a zero field keeps the model's value.
 	DerateEarly float64
 	DerateLate  float64
+	// Timeout, when positive, bounds this job's wall clock: Run derives a
+	// context.WithTimeout from Options.Context (or context.Background())
+	// and the scheduler stops cooperatively with a consistent partial
+	// result and Result.StopReason = StopDeadline. The timeout also covers
+	// waiting for a session slot.
+	Timeout time.Duration
 }
 
-// Run executes one job on a pooled session state.
+// Run executes one job on a pooled session state. Cancellation (via
+// Options.Context or Timeout) is not an error: the scheduler returns its
+// partial result with Result.StopReason set. A scheduler panic comes back
+// as a *PanicError.
 func (e *Engine) Run(job Job) (*sched.Result, error) {
+	ctx := job.Options.Context
+	if job.Timeout > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		tctx, cancel := context.WithTimeout(ctx, job.Timeout)
+		defer cancel()
+		ctx = tctx
+		job.Options.Context = ctx // job is a value copy; the caller's is untouched
+	}
 	var res *sched.Result
-	err := e.Session(func(tm *timing.Timer) error {
+	err := e.SessionContext(ctx, func(tm *timing.Timer) error {
 		if job.Period != 0 {
 			tm.SetPeriod(job.Period)
 		}

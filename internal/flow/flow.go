@@ -11,6 +11,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"iterskew/internal/netlist"
 	"iterskew/internal/obs"
 	"iterskew/internal/opt"
+	"iterskew/internal/sched"
 	"iterskew/internal/timing"
 )
 
@@ -59,6 +61,12 @@ func (m Method) String() string {
 type Config struct {
 	Method    Method
 	MaxRounds int // per CSS stage; 0 = default
+	// Context, when non-nil, cancels the run cooperatively: the schedulers
+	// stop at the next round boundary with a consistent partial result,
+	// remaining stages (and the §IV physical realization) are skipped, and
+	// Run returns the partial Report with StopReason set — cancellation is
+	// not an error.
+	Context context.Context
 	// Margin is the §V stability amplification passed to the core
 	// scheduler (extract edges within this slack band; 0 = violations
 	// only).
@@ -112,6 +120,12 @@ type Report struct {
 	// Rounds is the total number of CSS update-extract rounds (the paper's
 	// k), summed over stages.
 	Rounds int
+
+	// StopReason records how the last scheduler stage that ran ended; the
+	// zero value (converged) also covers methods that run no scheduler
+	// (Baseline). An Interrupted() reason means the flow was cut short by
+	// Config.Context and the Report describes a consistent partial run.
+	StopReason sched.StopReason
 
 	HPWLIncrPct float64
 	Trajectory  []TrajPoint
@@ -208,10 +222,12 @@ func runGraph(g *timing.Graph, cfg Config) (*Report, error) {
 	case FPM:
 		t0 := time.Now()
 		done := rec.PhaseSpan("fpm-css")
-		if _, err := fpm.Schedule(tm, fpm.Options{}); err != nil {
+		res, err := fpm.Schedule(tm, fpm.Options{Context: cfg.Context})
+		if err != nil {
 			done()
 			return nil, err
 		}
+		rep.StopReason = res.StopReason
 		done()
 		rep.CSSTime = time.Since(t0)
 		// FPM is a predictive placement-stage methodology: its skews are
@@ -228,10 +244,12 @@ func runGraph(g *timing.Graph, cfg Config) (*Report, error) {
 		if err := runStage(tm, rep, cfg, timing.Early, "early"); err != nil {
 			return nil, err
 		}
-		if err := runStage(tm, rep, cfg, timing.Late, "late"); err != nil {
-			return nil, err
+		if !rep.StopReason.Interrupted() {
+			if err := runStage(tm, rep, cfg, timing.Late, "late"); err != nil {
+				return nil, err
+			}
 		}
-		if cfg.EnableSizing && !cfg.SkipOpt {
+		if cfg.EnableSizing && !cfg.SkipOpt && !rep.StopReason.Interrupted() {
 			t0 := time.Now()
 			done := rec.PhaseSpan("sizing")
 			opt.ResizeCells(tm, cfg.Resize)
@@ -261,18 +279,20 @@ func runStage(tm *timing.Timer, rep *Report, cfg Config, mode timing.Mode, phase
 	var targets map[netlist.CellID]float64
 	switch cfg.Method {
 	case ICCSSPlus:
-		res, err := iccss.Schedule(tm, iccss.Options{Mode: mode, MaxRounds: cfg.MaxRounds, Workers: cfg.Workers})
+		res, err := iccss.Schedule(tm, iccss.Options{Mode: mode, MaxRounds: cfg.MaxRounds, Workers: cfg.Workers, Context: cfg.Context})
 		if err != nil {
 			return err
 		}
 		rep.Rounds += res.Rounds
+		rep.StopReason = res.StopReason
 		targets = res.Target
 	default:
-		res, err := core.Schedule(tm, core.Options{Mode: mode, MaxRounds: cfg.MaxRounds, Margin: cfg.Margin, Workers: cfg.Workers, Log: cfg.Log})
+		res, err := core.Schedule(tm, core.Options{Mode: mode, MaxRounds: cfg.MaxRounds, Margin: cfg.Margin, Workers: cfg.Workers, Log: cfg.Log, Context: cfg.Context})
 		if err != nil {
 			return err
 		}
 		rep.Rounds += res.Rounds
+		rep.StopReason = res.StopReason
 		targets = res.Target
 		for _, it := range res.PerIter {
 			rep.Trajectory = append(rep.Trajectory, TrajPoint{
@@ -283,7 +303,9 @@ func runStage(tm *timing.Timer, rep *Report, cfg Config, mode timing.Mode, phase
 	done()
 	rep.CSSTime += time.Since(t0)
 
-	if !cfg.SkipOpt {
+	// An interrupted stage skips its physical realization: the §IV moves
+	// would chase a schedule the scheduler never finished.
+	if !cfg.SkipOpt && !rep.StopReason.Interrupted() {
 		rep.applyOpt(tm, targets, cfg, phase)
 	}
 	return nil

@@ -62,13 +62,21 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 	}
 	res := &Result{Target: map[netlist.CellID]float64{}, Graph: g}
 
-	// Full sequential graph extraction: every early edge of the design.
+	// Full sequential graph extraction: every early edge of the design. This
+	// up-front O(n·m') sweep dominates FPM's runtime, so cancellation is
+	// checked per launch here; past it the run commits (one greedy pass and
+	// a single apply+Update), so the commit is never interrupted.
+	cc := opts.Canceller()
 	esp := rec.NamedSpan("fpm.full_extract")
 	var edgeBuf []timing.SeqEdge
 	var launches []netlist.CellID
 	launches = append(launches, d.FFs...)
 	launches = append(launches, d.InPorts...)
 	for _, u := range launches {
+		if r, stop := cc.Reason(); stop {
+			res.StopReason = r
+			break
+		}
 		edgeBuf = tm.ExtractAllFrom(u, timing.Early, edgeBuf[:0])
 		for _, se := range edgeBuf {
 			g.AddSeqEdge(se, isPort)
@@ -77,6 +85,13 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 	res.EdgesExtracted = len(g.Edges)
 	rec.Add(obs.CtrRoundEdges, int64(len(g.Edges)))
 	esp.EndArg2("launches", int64(len(launches)), "edges", int64(len(g.Edges)))
+	if res.StopReason.Interrupted() {
+		// Nothing has been applied to the timer yet, so the empty Target is
+		// trivially consistent.
+		res.Elapsed = time.Since(start)
+		runSp.EndArg("edges", int64(res.EdgesExtracted))
+		return res, nil
+	}
 	gsp := rec.NamedSpan("fpm.greedy")
 
 	// One-time late-slack snapshot bounds the launch raises.

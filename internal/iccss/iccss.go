@@ -62,6 +62,19 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 		rec = tm.Recorder()
 	}
 	runSp := rec.StartSpan(obs.SpanSchedule)
+	// Cooperative cancellation and Workers, with the same save/restore
+	// discipline as core.Schedule: hooks and widths never leak past the run.
+	cc := opts.Canceller()
+	if cc.Active() {
+		prevCheck := tm.Check()
+		tm.SetCheck(cc.Stop)
+		defer tm.SetCheck(prevCheck)
+	}
+	if opts.Workers != 0 {
+		prevWorkers := tm.Workers()
+		tm.SetWorkers(opts.Workers)
+		defer tm.SetWorkers(prevWorkers)
+	}
 	d := tm.D
 	g := seqgraph.New()
 	isPort := func(c netlist.CellID) bool {
@@ -284,7 +297,12 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 		})
 	}
 
+	res.StopReason = sched.StopRoundCap
 	for round := 0; round < opts.MaxRounds; round++ {
+		if r, stop := cc.Reason(); stop {
+			res.StopReason = r
+			break
+		}
 		roundSp := rec.StartSpan(obs.SpanRound)
 		newEdges := extractCritical()
 
@@ -397,8 +415,15 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 		roundSp.EndArg2("round", int64(round), "raised", int64(raised))
 
 		if maxInc <= eps && newEdges == 0 && constraintAdded == 0 {
+			res.StopReason = sched.StopConverged
 			break
 		}
+	}
+	if res.StopReason.Interrupted() {
+		// Drain any propagation the abort hook cut short so the partial
+		// Target matches the timer state (see core.Schedule).
+		tm.SetCheck(nil)
+		tm.Update()
 	}
 
 	res.EdgesExtracted = len(g.Edges)

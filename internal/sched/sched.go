@@ -10,6 +10,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -95,6 +96,19 @@ type Options struct {
 	// Mode selects which violation type this run optimizes (the paper's flow
 	// runs Early first, then Late; §V).
 	Mode timing.Mode
+	// Context, when non-nil, cancels the run cooperatively: the schedulers
+	// check it at round boundaries (and the timer checks it at level-bucket /
+	// batch-root granularity), stop, and return a CONSISTENT partial result —
+	// Result.Target always matches the latencies actually applied on the
+	// timer, with propagation fully drained, so a cancelled session is a
+	// usable anytime answer. Cancellation is not an error: Schedule returns
+	// (result, nil) with Result.StopReason set to StopCancelled or
+	// StopDeadline. nil means no cancellation.
+	Context context.Context
+	// Deadline, when nonzero, bounds the run's wall clock the same
+	// cooperative way (Result.StopReason = StopDeadline). It composes with
+	// Context: whichever fires first stops the run.
+	Deadline time.Time
 	// MaxRounds caps the number of update-extract rounds (cycle-handling
 	// rounds included). 0 means the default of 200.
 	MaxRounds int
@@ -113,14 +127,21 @@ type Options struct {
 	// ablation study; never use in real flows.
 	DisableHeadroom bool
 	// StallRounds stops the iteration after this many consecutive rounds
-	// whose TNS gain is below 0.01% of the current TNS (coupled headroom
-	// chains can otherwise crawl by epsilon-sized increments for many
-	// rounds). 0 means the default of 3; negative disables the guard.
+	// whose TNS gain is below max(1 ps, 0.01%·|TNS|) — the 1 ps absolute
+	// floor keeps near-zero-TNS runs from crawling by epsilon-sized
+	// increments, and the relative term scales the bar on heavily violating
+	// designs (coupled headroom chains can otherwise crawl for many rounds).
+	// Cycle-handling rounds refresh the TNS baseline but never count toward
+	// (or trigger) the guard: freezing a cycle is structural progress even
+	// when the TNS is momentarily flat. 0 means the default of 3; negative
+	// disables the guard.
 	StallRounds int
 	// Workers sets the worker-pool width for batch extraction and incremental
-	// propagation. 0 keeps the timer's configured width (see
-	// timing.Timer.SetWorkers); negative means GOMAXPROCS. Results are
-	// identical at any width.
+	// propagation: a nonzero value is installed on the timer
+	// (timing.Timer.SetWorkers) for the duration of the run and the prior
+	// width is restored on return, so the schedulers' Update calls honor it
+	// too. 0 keeps the timer's configured width; negative means GOMAXPROCS.
+	// Results are identical at any width.
 	Workers int
 	// Recorder optionally instruments the run: round spans, extraction and
 	// clamp counters, and per-round JSONL events (see internal/obs). nil
@@ -134,6 +155,101 @@ type Options struct {
 	// an explanation line for every termination decision (stall guard,
 	// convergence, round cap), so StallRounds stops are explainable.
 	Log io.Writer
+}
+
+// StopReason classifies why a scheduling run ended. The zero value is
+// StopConverged, matching the schedulers that terminate only by reaching
+// their fixpoint (fpm's one-shot pass "converges" by construction).
+type StopReason uint8
+
+// The termination causes, in the order a healthy run prefers them.
+const (
+	// StopConverged: the iteration reached its fixpoint — no vertex received
+	// a new increment and a forced extraction sweep found no new essential
+	// edges (Alg 1 line 13).
+	StopConverged StopReason = iota
+	// StopStalled: the StallRounds guard fired — too many consecutive rounds
+	// below the minimum TNS gain.
+	StopStalled
+	// StopRoundCap: Options.MaxRounds was exhausted before convergence.
+	StopRoundCap
+	// StopCancelled: Options.Context was cancelled mid-run.
+	StopCancelled
+	// StopDeadline: Options.Deadline (or the context's deadline) passed
+	// mid-run.
+	StopDeadline
+)
+
+// String implements fmt.Stringer.
+func (r StopReason) String() string {
+	switch r {
+	case StopConverged:
+		return "converged"
+	case StopStalled:
+		return "stalled"
+	case StopRoundCap:
+		return "round-cap"
+	case StopCancelled:
+		return "cancelled"
+	case StopDeadline:
+		return "deadline"
+	}
+	return fmt.Sprintf("StopReason(%d)", uint8(r))
+}
+
+// Interrupted reports whether the run was stopped from outside (cancelled or
+// past a deadline) rather than by its own termination logic. Interrupted
+// results are still consistent partial answers.
+func (r StopReason) Interrupted() bool {
+	return r == StopCancelled || r == StopDeadline
+}
+
+// Canceller resolves an Options' Context/Deadline pair into a cheap stop
+// probe. The zero value (no context, no deadline) never stops. Stop is safe
+// for concurrent use — the timer's batch-extraction workers call it — and is
+// what the schedulers install as the timer's amortized check hook
+// (timing.State.SetCheck).
+type Canceller struct {
+	ctx      context.Context
+	deadline time.Time
+}
+
+// Canceller derives the run's stop probe from Context and Deadline.
+func (o *Options) Canceller() Canceller {
+	return Canceller{ctx: o.Context, deadline: o.Deadline}
+}
+
+// Active reports whether any stop condition is configured at all; inactive
+// cancellers let the schedulers skip hook installation entirely, keeping
+// uncancelled runs byte-identical to the pre-cancellation code path.
+func (c Canceller) Active() bool {
+	return c.ctx != nil || !c.deadline.IsZero()
+}
+
+// Stop reports whether the run should stop now. Safe for concurrent use.
+func (c Canceller) Stop() bool {
+	if c.ctx != nil && c.ctx.Err() != nil {
+		return true
+	}
+	return !c.deadline.IsZero() && time.Now().After(c.deadline)
+}
+
+// Reason returns the StopReason to record if the run should stop now, and
+// whether it should. Context cancellation maps to StopCancelled, a context
+// or Options deadline to StopDeadline.
+func (c Canceller) Reason() (StopReason, bool) {
+	if c.ctx != nil {
+		switch c.ctx.Err() {
+		case context.Canceled:
+			return StopCancelled, true
+		case context.DeadlineExceeded:
+			return StopDeadline, true
+		}
+	}
+	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		return StopDeadline, true
+	}
+	return StopConverged, false
 }
 
 // IterStats records one iteration for the Fig-8 style trajectory.
@@ -171,6 +287,10 @@ type Result struct {
 	// Rounds is the number of update-extract rounds executed (the paper's k
 	// plus cycle-handling rounds).
 	Rounds int
+	// StopReason records why the run ended. Interrupted() reasons
+	// (cancelled, deadline) still come with a consistent partial Target:
+	// the latencies are applied on the timer and propagation is drained.
+	StopReason StopReason
 	// Cycles is the number of cycles encountered and fixed.
 	Cycles int
 	// CycleFixes records every Eq-9 mean-weight assignment, for the

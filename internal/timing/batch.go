@@ -109,6 +109,13 @@ func (t *Timer) runBatch(n, workers int, dst []SeqEdge, trace func(w *extractWor
 			wsp := t.rec.WorkerSpan(obs.SpanExtractWorker, tid)
 			roots := int64(0)
 			for {
+				if t.stopRequested() {
+					// Cooperative stop: abandon unclaimed roots. The merged
+					// result keeps whatever was traced; callers stopping here
+					// discard the round anyway.
+					wsp.EndArg("roots", roots)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					wsp.EndArg("roots", roots)

@@ -126,6 +126,9 @@ type State struct {
 	workers int         // worker-pool width used by Update (1 = serial)
 	pool    extractPool // batch-extraction worker scratch (batch.go)
 
+	// Cooperative-stop hook (see SetCheck). nil means never stop.
+	check func() bool
+
 	// Optional instrumentation recorder (nil by default: every hook below
 	// degrades to a nil check, keeping the hot paths allocation-free).
 	rec *obs.Recorder
@@ -195,6 +198,29 @@ func (t *Timer) SetWorkers(n int) {
 
 // Workers returns the current worker-pool width.
 func (t *Timer) Workers() int { return t.workers }
+
+// SetCheck installs an amortized cooperative-stop hook (nil uninstalls).
+// While installed, long-running timer work probes it at coarse boundaries —
+// between level buckets during incremental Update and per trace root during
+// batch extraction — and returns early when it reports true. The hook must
+// be cheap and safe for concurrent calls (batch-extraction workers probe it
+// from their own goroutines); a context.Context's Err check qualifies.
+//
+// An aborted Update leaves the un-drained seeds queued in a resumable state:
+// clearing the hook and calling Update again completes propagation to
+// exactly the fixpoint an uninterrupted Update would have reached (the
+// worklist recomputes each pin from its fan-in, so the path taken does not
+// change the result). Aborted extraction batches return the edges traced so
+// far. With no hook installed the probes cost a nil check and behavior is
+// unchanged.
+func (t *Timer) SetCheck(f func() bool) { t.check = f }
+
+// Check returns the installed cooperative-stop hook (nil if none), so
+// callers can save and restore it around a nested use.
+func (t *Timer) Check() func() bool { return t.check }
+
+// stopRequested probes the cooperative-stop hook.
+func (t *Timer) stopRequested() bool { return t.check != nil && t.check() }
 
 // SetRecorder installs an instrumentation recorder on the timer (nil
 // uninstalls). With no recorder the instrumented paths cost a nil check and
@@ -607,6 +633,9 @@ func (t *Timer) changedScratch(n int) []bool {
 func (t *Timer) runForward() (int, int) {
 	visited, levels := 0, 0
 	for lvl := int32(0); lvl <= t.maxLvl; lvl++ {
+		if t.stopRequested() {
+			break // remaining buckets stay queued; a later Update drains them
+		}
 		bucket := t.fwdBuckets[lvl]
 		t.fwdBuckets[lvl] = bucket[:0]
 		if len(bucket) == 0 {
@@ -649,6 +678,9 @@ func (t *Timer) runForward() (int, int) {
 func (t *Timer) runBackward() (int, int) {
 	visited, levels := 0, 0
 	for lvl := t.maxLvl; lvl >= 0; lvl-- {
+		if t.stopRequested() {
+			break // remaining buckets stay queued; a later Update drains them
+		}
 		bucket := t.bwdBuckets[lvl]
 		t.bwdBuckets[lvl] = bucket[:0]
 		if len(bucket) == 0 {

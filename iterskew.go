@@ -64,6 +64,10 @@ type (
 	// three bundled schedulers are exposed as CoreScheduler, ICCSSScheduler
 	// and FPMScheduler.
 	Scheduler = sched.Scheduler
+	// StopReason classifies why a scheduling run ended (converged, stalled,
+	// round-cap, cancelled, deadline). Interrupted() reasons still come with
+	// a consistent partial result.
+	StopReason = sched.StopReason
 
 	// Engine is the compile-once/schedule-many session layer: one compiled
 	// TimingGraph serving many concurrent scheduling sessions on pooled
@@ -75,6 +79,10 @@ type (
 	EngineJob = engine.Job
 	// EngineJobResult pairs one Engine.RunAll job with its error.
 	EngineJobResult = engine.JobResult
+	// PanicError is a panic the Engine recovered from a session or
+	// scheduler, surfaced as that job's error instead of crashing the
+	// process; the poisoned state is discarded, never recycled.
+	PanicError = engine.PanicError
 	// DelayModel is the Elmore interconnect model.
 	DelayModel = delay.Model
 
@@ -160,6 +168,19 @@ func NewDesign(name string, period float64) *Design { return netlist.NewDesign(n
 const (
 	Late  = timing.Late
 	Early = timing.Early
+)
+
+// Termination causes (ScheduleResult.StopReason / FlowReport.StopReason).
+// Cancellation is cooperative — set ScheduleOptions.Context/Deadline,
+// EngineJob.Timeout, or FlowConfig.Context — and never an error: the run
+// stops at the next round boundary and returns a consistent partial result
+// (the reported target latencies are exactly what is applied on the timer).
+const (
+	StopConverged = sched.StopConverged
+	StopStalled   = sched.StopStalled
+	StopRoundCap  = sched.StopRoundCap
+	StopCancelled = sched.StopCancelled
+	StopDeadline  = sched.StopDeadline
 )
 
 // Comparison methods (the Table-I rows).
