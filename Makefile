@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench fuzz-smoke oracle-check obs-smoke engine-smoke cancel-smoke
+.PHONY: ci vet build test race bench fuzz-smoke oracle-check obs-smoke engine-smoke cancel-smoke codec-smoke
 
-ci: vet build test race fuzz-smoke obs-smoke engine-smoke cancel-smoke oracle-check
+ci: vet build test race fuzz-smoke obs-smoke engine-smoke cancel-smoke codec-smoke oracle-check
 
 vet:
 	$(GO) vet ./...
@@ -15,10 +15,11 @@ test:
 
 # The concurrency-bearing packages (worker-pool extraction, parallel
 # incremental propagation, the shared metrics recorder, the
-# compile-once/schedule-many session engine, and the context-threading flow)
+# compile-once/schedule-many session engine, the context-threading flow, and
+# the zero-copy graph codec whose decoded slabs are shared across sessions)
 # must stay race-clean.
 race:
-	$(GO) test -race ./internal/timing ./internal/core ./internal/obs ./internal/engine ./internal/flow
+	$(GO) test -race ./internal/timing ./internal/core ./internal/obs ./internal/engine ./internal/flow ./internal/graphio
 
 bench:
 	$(GO) test -bench 'ExtractEssentialBatch|IncrementalUpdate|CSRPropagation' -benchmem .
@@ -74,6 +75,18 @@ cancel-smoke:
 	@grep -c '"stop_reason"' $(CANCEL_TMP)/bench.json | grep -qx 5 || \
 	    { echo "cancel-smoke: expected 5 rows (one per method)"; exit 1; }
 	@echo "cancel-smoke: clean exit, partial results, deadline stop_reason recorded"
+
+# Graph-codec smoke: generate a bench design, compile and save the graph
+# artifact, then load it in a second process and schedule — cssbench exits
+# non-zero if the decoded graph's schedule diverges bit-for-bit from an
+# in-process compile.
+CODEC_TMP ?= /tmp/iterskew-codec-smoke
+codec-smoke:
+	rm -rf $(CODEC_TMP) && mkdir -p $(CODEC_TMP)
+	$(GO) build -o $(CODEC_TMP)/cssbench ./cmd/cssbench
+	$(CODEC_TMP)/cssbench -scale 0.01 -designs superblue1 -savegraph $(CODEC_TMP)/graph.iskg
+	$(CODEC_TMP)/cssbench -scale 0.01 -designs superblue1 -loadgraph $(CODEC_TMP)/graph.iskg
+	@echo "codec-smoke: decoded graph schedules identically to in-process compile"
 
 # Concurrent-session smoke: 8 simultaneous mixed-method scheduling sessions
 # over one shared compiled graph, byte-compared against dedicated serial

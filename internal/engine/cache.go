@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"iterskew/internal/delay"
+	"iterskew/internal/graphio"
+	"iterskew/internal/netlist"
+	"iterskew/internal/obs"
+	"iterskew/internal/timing"
+)
+
+// Cache is a content-addressed store of compiled timing graphs, keyed by the
+// graphio content hash of (netlist, delay model). It turns repeated flow runs
+// over the same inputs — parameter sweeps, what-if sessions, ECO loops that
+// end up back at a known netlist — into map lookups instead of recompiles.
+//
+// Eviction is LRU under a byte budget measured with Graph.Bytes(): the cache
+// never holds more than MaxBytes of slab memory (a single oversized graph is
+// still admitted — the budget bounds retention, not admission). All methods
+// are safe for concurrent use. Hit/miss/evict counts land on the optional
+// obs.Recorder as CtrGraphCache* counters, and the resident footprint as
+// GaugeCacheBytes / GaugeCacheGraphs.
+type Cache struct {
+	maxBytes int64
+	rec      *obs.Recorder
+
+	mu    sync.Mutex
+	bytes int64
+	lru   *list.List // front = most recent; values are *cacheEntry
+	byKey map[graphio.Hash]*list.Element
+}
+
+type cacheEntry struct {
+	key   graphio.Hash
+	g     *timing.Graph
+	bytes int64
+}
+
+// NewCache returns a cache bounded to maxBytes of compiled-graph slabs
+// (<= 0 means unbounded). rec may be nil.
+func NewCache(maxBytes int64, rec *obs.Recorder) *Cache {
+	return &Cache{
+		maxBytes: maxBytes,
+		rec:      rec,
+		lru:      list.New(),
+		byKey:    map[graphio.Hash]*list.Element{},
+	}
+}
+
+// Lookup returns the cached graph for key, if resident, and refreshes its
+// recency. It records a hit or miss.
+func (c *Cache) Lookup(key graphio.Hash) (*timing.Graph, bool) {
+	c.mu.Lock()
+	var g *timing.Graph
+	el, ok := c.byKey[key]
+	if ok {
+		c.lru.MoveToFront(el)
+		g = el.Value.(*cacheEntry).g
+	}
+	c.mu.Unlock()
+	if ok {
+		c.rec.Add(obs.CtrGraphCacheHits, 1)
+		return g, true
+	}
+	c.rec.Add(obs.CtrGraphCacheMisses, 1)
+	return nil, false
+}
+
+// Add inserts (or refreshes) a compiled graph under key and evicts
+// least-recently-used entries until the byte budget holds again.
+func (c *Cache) Add(key graphio.Hash, g *timing.Graph) {
+	size := g.Bytes()
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.bytes += size - ent.bytes
+		ent.g, ent.bytes = g, size
+		c.lru.MoveToFront(el)
+	} else {
+		c.byKey[key] = c.lru.PushFront(&cacheEntry{key: key, g: g, bytes: size})
+		c.bytes += size
+	}
+	evicted := 0
+	for c.maxBytes > 0 && c.bytes > c.maxBytes && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		ent := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.byKey, ent.key)
+		c.bytes -= ent.bytes
+		evicted++
+	}
+	bytes, graphs := c.bytes, c.lru.Len()
+	c.mu.Unlock()
+	if evicted > 0 {
+		c.rec.Add(obs.CtrGraphCacheEvicts, int64(evicted))
+	}
+	c.rec.SetGauge(obs.GaugeCacheBytes, bytes)
+	c.rec.SetGauge(obs.GaugeCacheGraphs, int64(graphs))
+}
+
+// Get returns the compiled graph for (d, m), compiling and caching it on a
+// miss. Concurrent Get calls for the same key may both compile; the second
+// Add wins, which is harmless (graphs are immutable and interchangeable).
+func (c *Cache) Get(d *netlist.Design, m delay.Model) (*timing.Graph, error) {
+	key, err := graphio.HashOf(d, m)
+	if err != nil {
+		return nil, err
+	}
+	if g, ok := c.Lookup(key); ok {
+		return g, nil
+	}
+	g, err := timing.Compile(d, m)
+	if err != nil {
+		return nil, err
+	}
+	c.Add(key, g)
+	return g, nil
+}
+
+// CacheStats is a point-in-time snapshot of the cache's residency.
+type CacheStats struct {
+	Graphs int   // resident compiled graphs
+	Bytes  int64 // summed Graph.Bytes() of residents
+}
+
+// Stats returns the current residency snapshot.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Graphs: c.lru.Len(), Bytes: c.bytes}
+}
+
+// Recompile applies a localized design edit to the engine's shared graph via
+// timing.Graph.Recompile, after quiescing every session: it claims all
+// MaxInFlight slots (blocking until in-flight sessions drain) and discards
+// the pooled states, whose snapshots the edit invalidates. The caller must
+// have already applied the corresponding mutation to the design. New sessions
+// started after Recompile returns see the updated timing.
+func (e *Engine) Recompile(delta timing.Delta) (timing.RecompileStats, error) {
+	// Quiesce: once we hold every slot, no session is running and none can
+	// start; acquire/release only touch states inside a held slot.
+	for i := 0; i < cap(e.slots); i++ {
+		e.slots <- struct{}{}
+	}
+	defer func() {
+		for i := 0; i < cap(e.slots); i++ {
+			<-e.slots
+		}
+	}()
+
+	st, err := e.g.Recompile(delta)
+	if err != nil {
+		return st, fmt.Errorf("engine: recompile: %w", err)
+	}
+
+	// Pooled states restored from the old snapshot are stale; drop them so
+	// the next acquire rebuilds from the refreshed graph.
+	e.mu.Lock()
+	e.discarded += len(e.free)
+	e.free = e.free[:0]
+	e.mu.Unlock()
+	return st, nil
+}

@@ -14,12 +14,15 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"iterskew/internal/core"
 	"iterskew/internal/delay"
+	"iterskew/internal/engine"
 	"iterskew/internal/eval"
 	"iterskew/internal/fpm"
+	"iterskew/internal/graphio"
 	"iterskew/internal/iccss"
 	"iterskew/internal/netlist"
 	"iterskew/internal/obs"
@@ -90,6 +93,20 @@ type Config struct {
 	// (so every scheduler and extraction call reports into it) and receives
 	// per-phase wall-time/allocation accounting plus run/phase events.
 	Recorder *obs.Recorder
+	// GraphCache, when non-nil, serves the compiled timing graph for
+	// timing-only runs (those that do not mutate placement) from a shared
+	// content-addressed cache instead of recompiling; on a miss the freshly
+	// compiled graph is added. Mutating runs work on a clone whose graph
+	// must not outlive the run, so they always compile and never consult
+	// the cache.
+	GraphCache *engine.Cache
+	// GraphSnapshot, when non-empty, names a graphio artifact to load the
+	// compiled graph from for timing-only runs (O(read) cold start). The
+	// artifact's content hash must match the input design and delay model;
+	// a mismatch is an error, not a silent recompile. Ignored by mutating
+	// runs, takes precedence over GraphCache when both are set (the loaded
+	// graph is still added to the cache).
+	GraphSnapshot string
 	// Log, when non-nil, receives one human-readable progress line per
 	// scheduling round (threaded into core.Options.Log).
 	Log io.Writer
@@ -140,6 +157,12 @@ type Report struct {
 	// input design directly — predictive latencies live on the timer state,
 	// never on the design.
 	ClonedInput bool
+
+	// GraphSource records where the compiled timing graph came from:
+	// "compile" (built from the netlist), "cache" (Config.GraphCache hit),
+	// "snapshot" (decoded from Config.GraphSnapshot), or "caller" (handed
+	// in via RunGraph).
+	GraphSource string
 }
 
 // mutatesPlacement reports whether the configured run performs physical
@@ -169,7 +192,7 @@ func Run(input *netlist.Design, cfg Config) (*Report, error) {
 	if cloned {
 		d = cloneDesign(input)
 	}
-	g, err := timing.Compile(d, delay.Default())
+	g, source, err := compileFor(d, cfg, cloned)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +201,51 @@ func Run(input *netlist.Design, cfg Config) (*Report, error) {
 		return nil, err
 	}
 	rep.ClonedInput = cloned
+	rep.GraphSource = source
 	return rep, nil
+}
+
+// compileFor obtains the run's compiled graph: from the snapshot artifact or
+// the shared cache for timing-only runs, from a fresh compile otherwise.
+func compileFor(d *netlist.Design, cfg Config, cloned bool) (*timing.Graph, string, error) {
+	m := delay.Default()
+	if !cloned && cfg.GraphSnapshot != "" {
+		f, err := os.Open(cfg.GraphSnapshot)
+		if err != nil {
+			return nil, "", fmt.Errorf("flow: graph snapshot: %w", err)
+		}
+		defer f.Close()
+		g, err := graphio.ReadFor(f, d, m)
+		if err != nil {
+			return nil, "", fmt.Errorf("flow: graph snapshot %s: %w", cfg.GraphSnapshot, err)
+		}
+		if cfg.GraphCache != nil {
+			if key, err := graphio.HashOf(d, m); err == nil {
+				cfg.GraphCache.Add(key, g)
+			}
+		}
+		return g, "snapshot", nil
+	}
+	if !cloned && cfg.GraphCache != nil {
+		key, err := graphio.HashOf(d, m)
+		if err != nil {
+			return nil, "", err
+		}
+		if g, ok := cfg.GraphCache.Lookup(key); ok {
+			return g, "cache", nil
+		}
+		g, err := timing.Compile(d, m)
+		if err != nil {
+			return nil, "", err
+		}
+		cfg.GraphCache.Add(key, g)
+		return g, "compile", nil
+	}
+	g, err := timing.Compile(d, m)
+	if err != nil {
+		return nil, "", err
+	}
+	return g, "compile", nil
 }
 
 // RunGraph executes a timing-only flow over an already-compiled timing
@@ -190,7 +257,12 @@ func RunGraph(g *timing.Graph, cfg Config) (*Report, error) {
 	if cfg.mutatesPlacement() {
 		return nil, fmt.Errorf("flow: RunGraph requires a non-mutating config (method %v without SkipOpt mutates placement)", cfg.Method)
 	}
-	return runGraph(g, cfg)
+	rep, err := runGraph(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.GraphSource = "caller"
+	return rep, nil
 }
 
 // runGraph is the shared core of Run and RunGraph: one state over the

@@ -1,0 +1,120 @@
+package flow
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"iterskew/internal/delay"
+	"iterskew/internal/engine"
+	"iterskew/internal/fuzz"
+	"iterskew/internal/graphio"
+	"iterskew/internal/netlist"
+	"iterskew/internal/obs"
+	"iterskew/internal/timing"
+)
+
+func genFlowDesign(t *testing.T) *netlist.Design {
+	t.Helper()
+	d, err := fuzz.Generate(fuzz.FromSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func requireSameReport(t *testing.T, got, want *Report) {
+	t.Helper()
+	if math.Float64bits(got.Final.WNSEarly) != math.Float64bits(want.Final.WNSEarly) ||
+		math.Float64bits(got.Final.WNSLate) != math.Float64bits(want.Final.WNSLate) ||
+		math.Float64bits(got.Final.TNSEarly) != math.Float64bits(want.Final.TNSEarly) ||
+		math.Float64bits(got.Final.TNSLate) != math.Float64bits(want.Final.TNSLate) {
+		t.Fatalf("final metrics diverge: %+v vs %+v", got.Final, want.Final)
+	}
+	if got.Rounds != want.Rounds {
+		t.Fatalf("rounds %d != %d", got.Rounds, want.Rounds)
+	}
+}
+
+func TestRunUsesGraphCache(t *testing.T) {
+	d := genFlowDesign(t)
+	rec := obs.NewRecorder()
+	cache := engine.NewCache(0, rec)
+	cfg := Config{Method: Ours, SkipOpt: true, GraphCache: cache}
+
+	r1, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.GraphSource != "compile" {
+		t.Fatalf("first run GraphSource = %q, want compile", r1.GraphSource)
+	}
+	r2, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.GraphSource != "cache" {
+		t.Fatalf("second run GraphSource = %q, want cache", r2.GraphSource)
+	}
+	requireSameReport(t, r2, r1)
+	if hits := rec.Counter(obs.CtrGraphCacheHits); hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+}
+
+func TestMutatingRunIgnoresGraphCache(t *testing.T) {
+	d := genFlowDesign(t)
+	cache := engine.NewCache(0, nil)
+	cfg := Config{Method: Ours, GraphCache: cache} // mutates placement
+	r, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GraphSource != "compile" {
+		t.Fatalf("GraphSource = %q, want compile", r.GraphSource)
+	}
+	if st := cache.Stats(); st.Graphs != 0 {
+		t.Fatalf("mutating run leaked its graph into the cache: %+v", st)
+	}
+}
+
+func TestRunFromGraphSnapshot(t *testing.T) {
+	d := genFlowDesign(t)
+	g, err := timing.Compile(d, delay.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "graph.iskg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := Run(d, Config{Method: Ours, SkipOpt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(d, Config{Method: Ours, SkipOpt: true, GraphSnapshot: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GraphSource != "snapshot" {
+		t.Fatalf("GraphSource = %q, want snapshot", got.GraphSource)
+	}
+	requireSameReport(t, got, want)
+
+	// A snapshot for different inputs must be rejected, not silently
+	// recompiled.
+	d2 := d.Clone()
+	d2.Period *= 2
+	if _, err := Run(d2, Config{Method: Ours, SkipOpt: true, GraphSnapshot: path}); err == nil {
+		t.Fatalf("stale snapshot accepted")
+	}
+}

@@ -31,60 +31,103 @@ import (
 	"iterskew/internal/netlist"
 )
 
-// Write serializes d to w.
+// Write serializes d to w. It builds the whole text in one buffer with
+// strconv appends rather than fmt — Write sits on the content-hashing hot
+// path (graphio.HashOf serializes the netlist per hash), so the reflective
+// fmt machinery is measurable overhead at superblue scale.
 func Write(w io.Writer, d *netlist.Design) error {
-	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, "iterskew-netlist v1")
-	fmt.Fprintf(bw, "design %s\n", sanitize(d.Name))
-	fmt.Fprintf(bw, "period %g\n", d.Period)
-	fmt.Fprintf(bw, "portlatency %g\n", d.PortLatency)
-	if !d.Die.Empty() {
-		fmt.Fprintf(bw, "die %g %g %g %g\n", d.Die.Lo.X, d.Die.Lo.Y, d.Die.Hi.X, d.Die.Hi.Y)
-	}
-	fmt.Fprintf(bw, "maxdisp %g\n", d.MaxDisp)
-	fmt.Fprintf(bw, "lcbmaxfanout %d\n", d.LCBMaxFanout)
+	b := make([]byte, 0, 64+32*len(d.Cells)+48*len(d.Nets))
+	g := func(v float64) { b = strconv.AppendFloat(b, v, 'g', -1, 64) }
+	i := func(v int) { b = strconv.AppendInt(b, int64(v), 10) }
 
-	fmt.Fprintf(bw, "cells %d\n", len(d.Cells))
-	for i := range d.Cells {
-		c := &d.Cells[i]
-		fmt.Fprintf(bw, "%s %s %g %g\n", c.Type.Name, sanitize(c.Name), c.Pos.X, c.Pos.Y)
+	b = append(b, "iterskew-netlist v1\ndesign "...)
+	b = append(b, sanitize(d.Name)...)
+	b = append(b, "\nperiod "...)
+	g(d.Period)
+	b = append(b, "\nportlatency "...)
+	g(d.PortLatency)
+	b = append(b, '\n')
+	if !d.Die.Empty() {
+		b = append(b, "die "...)
+		g(d.Die.Lo.X)
+		b = append(b, ' ')
+		g(d.Die.Lo.Y)
+		b = append(b, ' ')
+		g(d.Die.Hi.X)
+		b = append(b, ' ')
+		g(d.Die.Hi.Y)
+		b = append(b, '\n')
+	}
+	b = append(b, "maxdisp "...)
+	g(d.MaxDisp)
+	b = append(b, "\nlcbmaxfanout "...)
+	i(d.LCBMaxFanout)
+	b = append(b, "\ncells "...)
+	i(len(d.Cells))
+	b = append(b, '\n')
+	for ci := range d.Cells {
+		c := &d.Cells[ci]
+		b = append(b, c.Type.Name...)
+		b = append(b, ' ')
+		b = append(b, sanitize(c.Name)...)
+		b = append(b, ' ')
+		g(c.Pos.X)
+		b = append(b, ' ')
+		g(c.Pos.Y)
+		b = append(b, '\n')
 	}
 
 	for _, kv := range sortedDelays(d.InDelay) {
-		fmt.Fprintf(bw, "indelay %d %g\n", kv.c, kv.v)
+		b = append(b, "indelay "...)
+		i(int(kv.c))
+		b = append(b, ' ')
+		g(kv.v)
+		b = append(b, '\n')
 	}
 	for _, kv := range sortedDelays(d.OutDelay) {
-		fmt.Fprintf(bw, "outdelay %d %g\n", kv.c, kv.v)
+		b = append(b, "outdelay "...)
+		i(int(kv.c))
+		b = append(b, ' ')
+		g(kv.v)
+		b = append(b, '\n')
 	}
 
-	fmt.Fprintf(bw, "nets %d\n", len(d.Nets))
-	for i := range d.Nets {
-		n := &d.Nets[i]
-		clock := 0
-		if n.IsClock {
-			clock = 1
+	// Pin index within its owning cell, precomputed so each net pin is O(1)
+	// instead of a scan over the cell's pin list.
+	pinIdx := make([]int32, len(d.Pins))
+	for ci := range d.Cells {
+		for k, p := range d.Cells[ci].Pins {
+			pinIdx[p] = int32(k)
 		}
-		fmt.Fprintf(bw, "%s %d %d", sanitize(n.Name), clock, 1+len(n.Sinks))
+	}
+
+	b = append(b, "nets "...)
+	i(len(d.Nets))
+	b = append(b, '\n')
+	for ni := range d.Nets {
+		n := &d.Nets[ni]
+		b = append(b, sanitize(n.Name)...)
+		if n.IsClock {
+			b = append(b, " 1 "...)
+		} else {
+			b = append(b, " 0 "...)
+		}
+		i(1 + len(n.Sinks))
 		writePin := func(p netlist.PinID) {
-			cell := d.Pins[p].Cell
-			// Pin index within the owning cell.
-			idx := -1
-			for k, cp := range d.Cells[cell].Pins {
-				if cp == p {
-					idx = k
-					break
-				}
-			}
-			fmt.Fprintf(bw, " %d:%d", cell, idx)
+			b = append(b, ' ')
+			i(int(d.Pins[p].Cell))
+			b = append(b, ':')
+			i(int(pinIdx[p]))
 		}
 		writePin(n.Driver)
 		for _, s := range n.Sinks {
 			writePin(s)
 		}
-		fmt.Fprintln(bw)
+		b = append(b, '\n')
 	}
-	fmt.Fprintln(bw, "end")
-	return bw.Flush()
+	b = append(b, "end\n"...)
+	_, err := w.Write(b)
+	return err
 }
 
 type delayKV struct {
@@ -140,10 +183,15 @@ func Read(r io.Reader) (*netlist.Design, error) {
 	errf := func(format string, args ...any) error {
 		return fmt.Errorf("netio: line %d: %s", line, fmt.Sprintf(format, args...))
 	}
+	// errw positions an underlying error (scanner failure, unexpected EOF)
+	// at the last line read while keeping it unwrappable for errors.Is.
+	errw := func(err error) error {
+		return fmt.Errorf("netio: line %d: %w", line, err)
+	}
 
 	f, err := next()
 	if err != nil {
-		return nil, err
+		return nil, errw(err)
 	}
 	if len(f) < 2 || f[0] != "iterskew-netlist" || f[1] != "v1" {
 		return nil, errf("bad header %v", f)
@@ -154,7 +202,7 @@ func Read(r io.Reader) (*netlist.Design, error) {
 	for {
 		f, err = next()
 		if err != nil {
-			return nil, err
+			return nil, errw(err)
 		}
 		switch f[0] {
 		case "design":
@@ -214,7 +262,7 @@ func Read(r io.Reader) (*netlist.Design, error) {
 			for i := 0; i < cellCount; i++ {
 				cf, err := next()
 				if err != nil {
-					return nil, err
+					return nil, errw(err)
 				}
 				if len(cf) != 4 {
 					return nil, errf("cell wants 4 fields, got %v", cf)
@@ -238,7 +286,7 @@ func Read(r io.Reader) (*netlist.Design, error) {
 			for i := 0; i < int(v); i++ {
 				nf, err := next()
 				if err != nil {
-					return nil, err
+					return nil, errw(err)
 				}
 				if len(nf) < 4 {
 					return nil, errf("net wants >=4 fields, got %v", nf)
@@ -260,7 +308,7 @@ func Read(r io.Reader) (*netlist.Design, error) {
 			}
 		case "end":
 			if err := d.Validate(); err != nil {
-				return nil, fmt.Errorf("netio: %w", err)
+				return nil, fmt.Errorf("netio: line %d: %w", line, err)
 			}
 			return d, nil
 		default:

@@ -2,6 +2,8 @@ package netio
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"math"
 	"strings"
 	"testing"
@@ -139,5 +141,43 @@ func TestSanitize(t *testing.T) {
 	}
 	if got := sanitize(""); got != "_" {
 		t.Errorf("sanitize empty = %q", got)
+	}
+}
+
+// TestReadErrorLineNumbers asserts every parse failure pinpoints the 1-based
+// line it occurred on — including truncation and scanner-level errors, which
+// historically surfaced without a position.
+func TestReadErrorLineNumbers(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"bad type", "iterskew-netlist v1\ncells 1\nNOPE g 0 0\nend\n", "line 3"},
+		{"bad pin ref", "iterskew-netlist v1\ncells 1\nINV g 0 0\nnets 1\nn 0 1 0-0\nend\n", "line 5"},
+		{"unknown word", "iterskew-netlist v1\ndesign x\nbogus 4\nend\n", "line 3"},
+		{"truncated cells", "iterskew-netlist v1\ncells 2\nINV g 0 0\n", "line 3"},
+		{"truncated nets", "iterskew-netlist v1\ncells 1\nINV g 0 0\nnets 1\n", "line 4"},
+		{"missing end", "iterskew-netlist v1\ndesign x\nperiod 10\n", "line 3"},
+		{"comments counted", "iterskew-netlist v1\n# one\n# two\nbogus\nend\n", "line 4"},
+	}
+	for _, tc := range cases {
+		_, err := Read(strings.NewReader(tc.text))
+		if err == nil {
+			t.Errorf("%s: error not detected", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not carry %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestReadErrorUnwraps asserts positioned errors keep their underlying cause
+// reachable through errors.Is.
+func TestReadErrorUnwraps(t *testing.T) {
+	_, err := Read(strings.NewReader("iterskew-netlist v1\ncells 2\nINV g 0 0\n"))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncation error %q does not unwrap to io.ErrUnexpectedEOF", err)
 	}
 }

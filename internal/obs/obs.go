@@ -59,6 +59,11 @@ const (
 	CtrConstraintExts // IC-CSS+ constraint-edge callback invocations
 	CtrCriticalVerts  // IC-CSS+ critical vertices fully extracted
 
+	// Compiled-graph cache (engine.Cache).
+	CtrGraphCacheHits   // cache lookups served from a resident graph
+	CtrGraphCacheMisses // cache lookups that required a compile/decode
+	CtrGraphCacheEvicts // graphs evicted to stay inside the byte budget
+
 	numCounters
 )
 
@@ -79,6 +84,9 @@ var counterNames = [numCounters]string{
 	CtrClampsEq11:       "clamps_eq11",
 	CtrConstraintExts:   "constraint_exts",
 	CtrCriticalVerts:    "critical_verts",
+	CtrGraphCacheHits:   "graph_cache_hits",
+	CtrGraphCacheMisses: "graph_cache_misses",
+	CtrGraphCacheEvicts: "graph_cache_evicts",
 }
 
 // String returns the counter's snake_case name (also its expvar key).
@@ -89,17 +97,21 @@ type Gauge int
 
 // The gauge set.
 const (
-	GaugeWorkers    Gauge = iota // configured worker-pool width
-	GaugeGraphVerts              // partial sequential graph vertex count
-	GaugeGraphEdges              // partial sequential graph edge count
+	GaugeWorkers     Gauge = iota // configured worker-pool width
+	GaugeGraphVerts               // partial sequential graph vertex count
+	GaugeGraphEdges               // partial sequential graph edge count
+	GaugeCacheBytes               // resident compiled-graph cache footprint
+	GaugeCacheGraphs              // resident compiled-graph count
 
 	numGauges
 )
 
 var gaugeNames = [numGauges]string{
-	GaugeWorkers:    "workers",
-	GaugeGraphVerts: "graph_verts",
-	GaugeGraphEdges: "graph_edges",
+	GaugeWorkers:     "workers",
+	GaugeGraphVerts:  "graph_verts",
+	GaugeGraphEdges:  "graph_edges",
+	GaugeCacheBytes:  "cache_bytes",
+	GaugeCacheGraphs: "cache_graphs",
 }
 
 // String returns the gauge's snake_case name.

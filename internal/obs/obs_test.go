@@ -193,6 +193,17 @@ func TestSnapshot(t *testing.T) {
 	if _, ok := s["span.css.round"]; ok {
 		t.Fatal("snapshot should omit empty span summaries")
 	}
+	// The compiled-graph cache metrics must reach the expvar map: the debug
+	// server publishes exactly this snapshot.
+	r.Add(CtrGraphCacheHits, 1)
+	r.SetGauge(GaugeCacheBytes, 4096)
+	s = r.Snapshot()
+	if got := s["counter.graph_cache_hits"]; got != int64(1) {
+		t.Fatalf("counter.graph_cache_hits = %v, want 1", got)
+	}
+	if got := s["gauge.cache_bytes"]; got != int64(4096) {
+		t.Fatalf("gauge.cache_bytes = %v, want 4096", got)
+	}
 }
 
 // BenchmarkDisabledHooks is the regression guard for the acceptance

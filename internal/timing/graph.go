@@ -91,10 +91,7 @@ func Compile(d *netlist.Design, m delay.Model) (*Graph, error) {
 	if err := g.levelize(); err != nil {
 		return nil, err
 	}
-	g.lvlBuckets = make([][]netlist.PinID, g.maxLvl+1)
-	for _, p := range g.order {
-		g.lvlBuckets[g.level[p]] = append(g.lvlBuckets[g.level[p]], p)
-	}
+	g.buildOrderBuckets()
 
 	// Bootstrap analysis: run the one full update every timer historically
 	// performed at construction, then keep its arrays as the snapshot.
@@ -120,25 +117,12 @@ func (g *Graph) Endpoints() []Endpoint { return g.endpoints }
 // EndpointOf returns the endpoint of a flip-flop or output port.
 func (g *Graph) EndpointOf(c netlist.CellID) EndpointID { return g.endpointOf[c] }
 
-// classifyPins marks the pins that belong to the data timing graph.
+// classifyPins marks the pins that belong to the data timing graph (the
+// per-pin rule lives in pinInData, which Recompile reuses to detect
+// classification flips).
 func (g *Graph) classifyPins() {
-	d := g.D
-	for i := range d.Pins {
-		p := netlist.PinID(i)
-		pin := &d.Pins[i]
-		kind := d.Cells[pin.Cell].Type.Kind
-		switch kind {
-		case netlist.KindLCB, netlist.KindClockRoot:
-			continue
-		case netlist.KindFF:
-			if d.Cells[pin.Cell].Pins[netlist.FFPinCK] == p {
-				continue // clock pin
-			}
-		}
-		if pin.Net != netlist.NoNet && d.Nets[pin.Net].IsClock {
-			continue
-		}
-		g.inData[i] = true
+	for i := range g.D.Pins {
+		g.inData[i] = g.pinInData(netlist.PinID(i))
 	}
 }
 
@@ -186,6 +170,38 @@ func (g *Graph) levelize() error {
 		return fmt.Errorf("timing: combinational cycle detected (%d of %d pins levelized)", len(g.order), total)
 	}
 	return nil
+}
+
+// buildOrderBuckets canonicalizes the topological order into level-major,
+// pin-index order and carves the per-level buckets as contiguous subslices of
+// it. Every data arc strictly increases level, so the canonical order is a
+// valid topological order; unlike the Kahn discovery order it depends only on
+// the levels themselves, which is what lets Recompile reproduce a
+// from-scratch Compile exactly after a localized edit.
+func (g *Graph) buildOrderBuckets() {
+	off := make([]int32, g.maxLvl+2)
+	for _, p := range g.order {
+		off[g.level[p]+1]++
+	}
+	for l := 0; l < len(off)-1; l++ {
+		off[l+1] += off[l]
+	}
+	flat := make([]netlist.PinID, len(g.order))
+	cur := make([]int32, g.maxLvl+1)
+	copy(cur, off)
+	for i := range g.D.Pins {
+		if !g.inData[i] {
+			continue
+		}
+		l := g.level[i]
+		flat[cur[l]] = netlist.PinID(i)
+		cur[l]++
+	}
+	g.order = flat
+	g.lvlBuckets = make([][]netlist.PinID, g.maxLvl+1)
+	for l := int32(0); l <= g.maxLvl; l++ {
+		g.lvlBuckets[l] = flat[off[l]:off[l+1]:off[l+1]]
+	}
 }
 
 // blankState allocates a State over g with zeroed analysis arrays and the

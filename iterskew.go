@@ -26,6 +26,8 @@
 package iterskew
 
 import (
+	"io"
+
 	"iterskew/internal/bench"
 	"iterskew/internal/core"
 	"iterskew/internal/cts"
@@ -35,6 +37,7 @@ import (
 	"iterskew/internal/flow"
 	"iterskew/internal/fpm"
 	"iterskew/internal/geom"
+	"iterskew/internal/graphio"
 	"iterskew/internal/iccss"
 	"iterskew/internal/netlist"
 	"iterskew/internal/obs"
@@ -212,6 +215,45 @@ func NewTimer(d *Design) (*Timer, error) { return timing.New(d, delay.Default())
 // default delay model. Call NewState on it for each (possibly concurrent)
 // analysis session.
 func Compile(d *Design) (*TimingGraph, error) { return timing.Compile(d, delay.Default()) }
+
+// Compiled-graph persistence, caching and delta recompilation.
+type (
+	// GraphHash is the content hash binding a compiled graph artifact to its
+	// netlist + delay model inputs.
+	GraphHash = graphio.Hash
+	// GraphDelta describes a localized netlist edit for RecompileGraph /
+	// Engine.Recompile.
+	GraphDelta = timing.Delta
+	// RecompileStats reports what a delta recompilation actually did.
+	RecompileStats = timing.RecompileStats
+	// GraphCache is a content-addressed LRU cache of compiled timing graphs
+	// under a byte budget (share one via FlowConfig.GraphCache).
+	GraphCache = engine.Cache
+	// GraphCacheStats is a GraphCache residency snapshot.
+	GraphCacheStats = engine.CacheStats
+)
+
+// WriteGraph serializes a compiled timing graph to the versioned binary
+// artifact format, making a later load O(read) instead of O(compile).
+func WriteGraph(w io.Writer, g *TimingGraph) error { return graphio.Write(w, g) }
+
+// ReadGraph deserializes a graph artifact, reconstructing the design from
+// the embedded netlist and returning the artifact's content hash.
+func ReadGraph(r io.Reader) (*TimingGraph, GraphHash, error) { return graphio.Read(r) }
+
+// ReadGraphFor deserializes a graph artifact for an already-loaded design
+// under the default delay model; the artifact's content hash must match.
+func ReadGraphFor(r io.Reader, d *Design) (*TimingGraph, error) {
+	return graphio.ReadFor(r, d, delay.Default())
+}
+
+// HashGraphInputs returns the content hash of (design, default delay model)
+// — the key under which Compile's result is cached and persisted.
+func HashGraphInputs(d *Design) (GraphHash, error) { return graphio.HashOf(d, delay.Default()) }
+
+// NewGraphCache returns a compiled-graph cache bounded to maxBytes of slab
+// memory (<= 0 means unbounded); rec may be nil.
+func NewGraphCache(maxBytes int64, rec *Recorder) *GraphCache { return engine.NewCache(maxBytes, rec) }
 
 // NewEngine compiles the design once and returns a session engine for
 // concurrent schedule-many workloads.
