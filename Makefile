@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench fuzz-smoke oracle-check obs-smoke engine-smoke cancel-smoke codec-smoke
+.PHONY: ci vet build test race bench fuzz-smoke oracle-check obs-smoke engine-smoke cancel-smoke codec-smoke serve-smoke
 
-ci: vet build test race fuzz-smoke obs-smoke engine-smoke cancel-smoke codec-smoke oracle-check
+ci: vet build test race fuzz-smoke obs-smoke engine-smoke cancel-smoke codec-smoke serve-smoke oracle-check
 
 vet:
 	$(GO) vet ./...
@@ -19,7 +19,7 @@ test:
 # the zero-copy graph codec whose decoded slabs are shared across sessions)
 # must stay race-clean.
 race:
-	$(GO) test -race ./internal/timing ./internal/core ./internal/obs ./internal/engine ./internal/flow ./internal/graphio
+	$(GO) test -race ./internal/timing ./internal/core ./internal/obs ./internal/engine ./internal/flow ./internal/graphio ./internal/serve
 
 bench:
 	$(GO) test -bench 'ExtractEssentialBatch|IncrementalUpdate|CSRPropagation' -benchmem .
@@ -98,3 +98,36 @@ engine-smoke:
 	$(ENGINE_TMP)/cssbench -scale 0.004 -sessions 8 -json $(ENGINE_TMP)/sessions.json
 	@grep -q '"identical_to_serial": true' $(ENGINE_TMP)/sessions.json && \
 	    echo "engine-smoke: 8 concurrent sessions identical to serial"
+
+# Service smoke: boot the real iterskewd daemon on an ephemeral port, drive
+# it with the cssbench load harness (4 clients x 6 jobs, streamed and plain),
+# then SIGTERM it and require a clean drain. The harness exits non-zero if
+# any HTTP answer diverges bitwise from an in-process run or a 429 arrives
+# without Retry-After; the greps additionally require that backpressure
+# actually fired (-maxinflight 1 under 4 clients must 429; -workers 2 gives
+# the single-CPU scheduler the yield points that make the overlap real).
+SERVE_TMP ?= /tmp/iterskew-serve-smoke
+serve-smoke:
+	rm -rf $(SERVE_TMP) && mkdir -p $(SERVE_TMP)
+	$(GO) build -o $(SERVE_TMP)/iterskewd ./cmd/iterskewd
+	$(GO) build -o $(SERVE_TMP)/cssbench ./cmd/cssbench
+	$(SERVE_TMP)/iterskewd -addr 127.0.0.1:0 -maxinflight 1 -workers 2 \
+	    -addrfile $(SERVE_TMP)/addr > $(SERVE_TMP)/daemon.log 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do test -s $(SERVE_TMP)/addr && break; \
+	    kill -0 $$pid 2>/dev/null || { echo "serve-smoke: daemon died"; cat $(SERVE_TMP)/daemon.log; exit 1; }; \
+	    sleep 0.05; done; \
+	addr=$$(cat $(SERVE_TMP)/addr); \
+	$(SERVE_TMP)/cssbench -scale 0.004 -designs superblue18 \
+	    -serveaddr http://$$addr -load 4 -loadjobs 6 \
+	    -json $(SERVE_TMP)/bench.json > $(SERVE_TMP)/load.txt 2>&1 || \
+	    { echo "serve-smoke: load harness failed"; cat $(SERVE_TMP)/load.txt $(SERVE_TMP)/daemon.log; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "serve-smoke: daemon did not drain cleanly"; cat $(SERVE_TMP)/daemon.log; exit 1; }
+	@grep -q '"identical_to_inprocess": true' $(SERVE_TMP)/bench.json || \
+	    { echo "serve-smoke: HTTP results diverged from in-process runs"; cat $(SERVE_TMP)/bench.json; exit 1; }
+	@grep -q '"rejected_429": 0,' $(SERVE_TMP)/bench.json && \
+	    { echo "serve-smoke: no 429 under 4 clients vs maxinflight 1"; cat $(SERVE_TMP)/bench.json; exit 1; } || true
+	@grep -q 'draining' $(SERVE_TMP)/daemon.log || \
+	    { echo "serve-smoke: daemon log shows no drain"; cat $(SERVE_TMP)/daemon.log; exit 1; }
+	@echo "serve-smoke: upload/schedule byte-identical over HTTP, backpressure fired, drained on SIGTERM"

@@ -71,6 +71,9 @@ func main() {
 	checkTrace := flag.String("checktrace", "", "validate a trace file written by -trace (round + worker span coverage) and exit")
 	saveGraph := flag.String("savegraph", "", "compile the first selected design and write the graph artifact to this file, then exit")
 	loadGraph := flag.String("loadgraph", "", "load a graph artifact for the first selected design, schedule on it, verify bit-identity against an in-process compile, then exit (non-zero on divergence)")
+	serveAddr := flag.String("serveaddr", "", "base URL of a live iterskewd daemon for the -load harness (e.g. http://127.0.0.1:8077)")
+	loadN := flag.Int("load", 0, "run the service load harness against -serveaddr with this many concurrent clients, then exit")
+	loadJobs := flag.Int("loadjobs", 8, "jobs per client in the -load harness")
 	flag.Parse()
 
 	if *checkTrace != "" {
@@ -127,6 +130,18 @@ func main() {
 
 	if *saveGraph != "" || *loadGraph != "" {
 		if err := runGraphArtifact(*designs, *scale, *saveGraph, *loadGraph); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *loadN > 0 {
+		if *serveAddr == "" {
+			fmt.Fprintln(os.Stderr, "-load requires -serveaddr (a running iterskewd)")
+			os.Exit(1)
+		}
+		if err := runLoad(*serveAddr, *designs, *scale, *loadN, *loadJobs, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -349,6 +364,8 @@ type benchJSON struct {
 	// Recompile measures the ECO loop: one Graph.Recompile per single-cell
 	// delta against a from-scratch compile, per design.
 	Recompile []recompileJSON `json:"recompile,omitempty"`
+	// Service is the -load harness's measurement of a live iterskewd daemon.
+	Service *serviceJSON `json:"service,omitempty"`
 }
 
 // coldStartJSON is one design's compile-vs-decode measurement.

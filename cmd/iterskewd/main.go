@@ -1,0 +1,107 @@
+// Command iterskewd runs the clock-skew-scheduling service: an HTTP/JSON
+// daemon (internal/serve) where clients upload a netlist once, receive its
+// content-addressed graph handle, and then fire any number of cheap
+// scheduling jobs against it. SIGTERM/SIGINT triggers a graceful drain:
+// the daemon stops admitting (healthz flips to 503), finishes in-flight
+// jobs, and exits 0.
+//
+//	iterskewd -addr :8077 -maxinflight 8 -cachebytes 268435456 \
+//	          -debugaddr 127.0.0.1:8078
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"iterskew/internal/obs"
+	"iterskew/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "iterskewd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8077", "listen address (use 127.0.0.1:0 for an ephemeral port)")
+		debugAddr    = flag.String("debugaddr", "", "obs debug sidecar address (pprof + expvar); empty disables")
+		maxInFlight  = flag.Int("maxinflight", 0, "max simultaneous admitted requests; excess gets 429 (0 = GOMAXPROCS)")
+		workers      = flag.Int("workers", 0, "per-session worker-pool width (0 = serial)")
+		cacheBytes   = flag.Int64("cachebytes", 0, "compiled-graph cache byte budget (0 = unbounded)")
+		maxJobRounds = flag.Int("maxjobrounds", 0, "server-wide clamp on a job's max_rounds (0 = scheduler defaults)")
+		addrFile     = flag.String("addrfile", "", "write the resolved listen address to this file once serving")
+		drainTO      = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight jobs on shutdown")
+	)
+	flag.Parse()
+
+	rec := obs.NewRecorder()
+	srv := serve.New(serve.Config{
+		MaxInFlight:  *maxInFlight,
+		Workers:      *workers,
+		CacheBytes:   *cacheBytes,
+		MaxJobRounds: *maxJobRounds,
+		Recorder:     rec,
+	})
+
+	if *debugAddr != "" {
+		ds, err := obs.StartDebugServer(*debugAddr, rec)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "iterskewd: debug sidecar on %s\n", ds.Addr)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	resolved := ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "iterskewd: serving on %s\n", resolved)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(resolved+"\n"), 0o644); err != nil {
+			return fmt.Errorf("addrfile: %w", err)
+		}
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "iterskewd: %s: draining\n", sig)
+	}
+
+	// Drain first — stop admitting, let in-flight jobs (including streams)
+	// finish — then shut the listener down. Shutdown alone is not enough:
+	// it would wait forever on an open stream and closes keep-alives that a
+	// client mid-backoff might still want for its final response read.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "iterskewd: drain incomplete: %v\n", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	fmt.Fprintln(os.Stderr, "iterskewd: drained, exiting")
+	return nil
+}

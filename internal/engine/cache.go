@@ -27,10 +27,11 @@ type Cache struct {
 	maxBytes int64
 	rec      *obs.Recorder
 
-	mu    sync.Mutex
-	bytes int64
-	lru   *list.List // front = most recent; values are *cacheEntry
-	byKey map[graphio.Hash]*list.Element
+	mu      sync.Mutex
+	bytes   int64
+	lru     *list.List // front = most recent; values are *cacheEntry
+	byKey   map[graphio.Hash]*list.Element
+	onEvict func(graphio.Hash)
 }
 
 type cacheEntry struct {
@@ -69,6 +70,12 @@ func (c *Cache) Lookup(key graphio.Hash) (*timing.Graph, bool) {
 	return nil, false
 }
 
+// SetOnEvict installs a callback invoked once per evicted key, after the
+// cache lock is released — holders of derived per-key resources (the serve
+// layer's session engines) use it to drop them in lockstep. Call it before
+// the cache is shared; it is not synchronized against concurrent Add.
+func (c *Cache) SetOnEvict(fn func(graphio.Hash)) { c.onEvict = fn }
+
 // Add inserts (or refreshes) a compiled graph under key and evicts
 // least-recently-used entries until the byte budget holds again.
 func (c *Cache) Add(key graphio.Hash, g *timing.Graph) {
@@ -83,41 +90,57 @@ func (c *Cache) Add(key graphio.Hash, g *timing.Graph) {
 		c.byKey[key] = c.lru.PushFront(&cacheEntry{key: key, g: g, bytes: size})
 		c.bytes += size
 	}
-	evicted := 0
+	var evicted []graphio.Hash
 	for c.maxBytes > 0 && c.bytes > c.maxBytes && c.lru.Len() > 1 {
 		back := c.lru.Back()
 		ent := back.Value.(*cacheEntry)
 		c.lru.Remove(back)
 		delete(c.byKey, ent.key)
 		c.bytes -= ent.bytes
-		evicted++
+		evicted = append(evicted, ent.key)
 	}
 	bytes, graphs := c.bytes, c.lru.Len()
 	c.mu.Unlock()
-	if evicted > 0 {
-		c.rec.Add(obs.CtrGraphCacheEvicts, int64(evicted))
+	if len(evicted) > 0 {
+		c.rec.Add(obs.CtrGraphCacheEvicts, int64(len(evicted)))
+		if c.onEvict != nil {
+			for _, k := range evicted {
+				c.onEvict(k)
+			}
+		}
 	}
 	c.rec.SetGauge(obs.GaugeCacheBytes, bytes)
 	c.rec.SetGauge(obs.GaugeCacheGraphs, int64(graphs))
 }
 
 // Get returns the compiled graph for (d, m), compiling and caching it on a
-// miss. Concurrent Get calls for the same key may both compile; the second
-// Add wins, which is harmless (graphs are immutable and interchangeable).
+// miss. It hashes the netlist on every call — callers that already hold the
+// content hash (a service graph handle, a loop over one design) should use
+// GetHashed, which makes a hit free of any O(design) work.
 func (c *Cache) Get(d *netlist.Design, m delay.Model) (*timing.Graph, error) {
 	key, err := graphio.HashOf(d, m)
 	if err != nil {
 		return nil, err
 	}
+	g, _, err := c.GetHashed(key, d, m)
+	return g, err
+}
+
+// GetHashed is Get with the content hash already computed by the caller: a
+// hit is a pure map lookup (zero hashing, zero serialization), a miss
+// compiles and caches. The returned bool reports whether the graph was
+// resident. Concurrent calls for the same key may both compile; the second
+// Add wins, which is harmless (graphs are immutable and interchangeable).
+func (c *Cache) GetHashed(key graphio.Hash, d *netlist.Design, m delay.Model) (*timing.Graph, bool, error) {
 	if g, ok := c.Lookup(key); ok {
-		return g, nil
+		return g, true, nil
 	}
 	g, err := timing.Compile(d, m)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	c.Add(key, g)
-	return g, nil
+	return g, false, nil
 }
 
 // CacheStats is a point-in-time snapshot of the cache's residency.

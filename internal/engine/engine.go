@@ -221,6 +221,12 @@ type Job struct {
 	// result and Result.StopReason = StopDeadline. The timeout also covers
 	// waiting for a session slot.
 	Timeout time.Duration
+	// After, when non-nil, runs inside the session right after a successful
+	// Schedule, while the scheduled latencies are still applied on the pooled
+	// state — the only window in which post-schedule QoR (eval.Measure) can
+	// be read, since the state is reset and recycled when Run returns. It
+	// must not retain tm. A panic in After is isolated like any session panic.
+	After func(tm *timing.Timer, res *sched.Result)
 }
 
 // Run executes one job on a pooled session state. Cancellation (via
@@ -262,6 +268,9 @@ func (e *Engine) Run(job Job) (*sched.Result, error) {
 		}
 		var err error
 		res, err = s.Schedule(tm, job.Options)
+		if err == nil && job.After != nil {
+			job.After(tm, res)
+		}
 		return err
 	})
 	if err != nil {

@@ -1,0 +1,54 @@
+package engine_test
+
+import (
+	"testing"
+
+	"iterskew/internal/delay"
+	"iterskew/internal/engine"
+	"iterskew/internal/graphio"
+)
+
+// TestGetHashedHitDoesZeroHashing locks the serve/flow hot path: once a
+// caller holds the content hash (a service graph handle, a loop over one
+// design), a cache hit must cost zero graphio hashing — the regression this
+// guards is Get/loadgraph re-serializing and re-hashing the whole netlist on
+// every lookup.
+func TestGetHashedHitDoesZeroHashing(t *testing.T) {
+	d := genDesign(t, 21)
+	m := delay.Default()
+	c := engine.NewCache(0, nil)
+
+	key, err := graphio.HashOf(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, hit, err := c.GetHashed(key, d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatalf("first GetHashed reported a hit")
+	}
+
+	before := graphio.HashOps()
+	g2, hit, err := c.GetHashed(key, d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || g2 != g {
+		t.Fatalf("second GetHashed: hit=%v same-graph=%v, want pure cache hit", hit, g2 == g)
+	}
+	if ops := graphio.HashOps() - before; ops != 0 {
+		t.Fatalf("cache hit performed %d hash operations, want 0", ops)
+	}
+
+	// The convenience Get still hashes — exactly once per call.
+	before = graphio.HashOps()
+	if _, err := c.Get(d, m); err != nil {
+		t.Fatal(err)
+	}
+	if ops := graphio.HashOps() - before; ops != 1 {
+		t.Fatalf("Get performed %d hash operations, want 1", ops)
+	}
+}

@@ -206,45 +206,46 @@ func Run(input *netlist.Design, cfg Config) (*Report, error) {
 }
 
 // compileFor obtains the run's compiled graph: from the snapshot artifact or
-// the shared cache for timing-only runs, from a fresh compile otherwise.
+// the shared cache for timing-only runs, from a fresh compile otherwise. The
+// content hash is computed at most once per run and threaded through both the
+// artifact verification and the cache key — hashing is the only O(design)
+// cost on these paths, so it must not be paid twice.
 func compileFor(d *netlist.Design, cfg Config, cloned bool) (*timing.Graph, string, error) {
 	m := delay.Default()
-	if !cloned && cfg.GraphSnapshot != "" {
+	if cloned || (cfg.GraphSnapshot == "" && cfg.GraphCache == nil) {
+		g, err := timing.Compile(d, m)
+		if err != nil {
+			return nil, "", err
+		}
+		return g, "compile", nil
+	}
+	key, err := graphio.HashOf(d, m)
+	if err != nil {
+		return nil, "", err
+	}
+	if cfg.GraphSnapshot != "" {
 		f, err := os.Open(cfg.GraphSnapshot)
 		if err != nil {
 			return nil, "", fmt.Errorf("flow: graph snapshot: %w", err)
 		}
 		defer f.Close()
-		g, err := graphio.ReadFor(f, d, m)
+		g, err := graphio.ReadVerified(f, d, m, key)
 		if err != nil {
 			return nil, "", fmt.Errorf("flow: graph snapshot %s: %w", cfg.GraphSnapshot, err)
 		}
 		if cfg.GraphCache != nil {
-			if key, err := graphio.HashOf(d, m); err == nil {
-				cfg.GraphCache.Add(key, g)
-			}
+			cfg.GraphCache.Add(key, g)
 		}
 		return g, "snapshot", nil
 	}
-	if !cloned && cfg.GraphCache != nil {
-		key, err := graphio.HashOf(d, m)
-		if err != nil {
-			return nil, "", err
-		}
-		if g, ok := cfg.GraphCache.Lookup(key); ok {
-			return g, "cache", nil
-		}
-		g, err := timing.Compile(d, m)
-		if err != nil {
-			return nil, "", err
-		}
-		cfg.GraphCache.Add(key, g)
-		return g, "compile", nil
+	if g, ok := cfg.GraphCache.Lookup(key); ok {
+		return g, "cache", nil
 	}
 	g, err := timing.Compile(d, m)
 	if err != nil {
 		return nil, "", err
 	}
+	cfg.GraphCache.Add(key, g)
 	return g, "compile", nil
 }
 

@@ -34,6 +34,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync/atomic"
 	"unsafe"
 
 	"iterskew/internal/delay"
@@ -49,10 +50,20 @@ type Hash [32]byte
 // String returns the hash in hex.
 func (h Hash) String() string { return hex.EncodeToString(h[:]) }
 
+// hashOps counts HashOf invocations. Hashing is the only O(design) cost left
+// on the cache-hit and verified-load paths, so callers that claim to thread a
+// precomputed hash through (engine.Cache.GetHashed, the serve handle lookups)
+// assert against this counter that a hit really does zero hashing.
+var hashOps atomic.Uint64
+
+// HashOps returns the process-wide number of HashOf calls so far.
+func HashOps() uint64 { return hashOps.Load() }
+
 // HashOf computes the content hash of a design + delay model pair. It
 // serializes the whole netlist, so it is O(design), not O(1) — compute it
 // once per design and reuse it (see ReadVerified).
 func HashOf(d *netlist.Design, m delay.Model) (Hash, error) {
+	hashOps.Add(1)
 	hw := sha256.New()
 	if err := netio.Write(hw, d); err != nil {
 		return Hash{}, fmt.Errorf("graphio: hashing netlist: %w", err)

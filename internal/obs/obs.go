@@ -64,6 +64,13 @@ const (
 	CtrGraphCacheMisses // cache lookups that required a compile/decode
 	CtrGraphCacheEvicts // graphs evicted to stay inside the byte budget
 
+	// CSS-as-a-service daemon (internal/serve).
+	CtrServeUploads   // netlist uploads accepted (compile or cache hit)
+	CtrServeJobs      // scheduling jobs completed
+	CtrServeRejected  // requests refused with 429 (all session slots busy)
+	CtrServeCancelled // jobs stopped early by client disconnect or timeout
+	CtrServeStreams   // jobs that streamed round progress as JSONL
+
 	numCounters
 )
 
@@ -87,6 +94,11 @@ var counterNames = [numCounters]string{
 	CtrGraphCacheHits:   "graph_cache_hits",
 	CtrGraphCacheMisses: "graph_cache_misses",
 	CtrGraphCacheEvicts: "graph_cache_evicts",
+	CtrServeUploads:     "serve_uploads",
+	CtrServeJobs:        "serve_jobs",
+	CtrServeRejected:    "serve_rejected",
+	CtrServeCancelled:   "serve_cancelled",
+	CtrServeStreams:     "serve_streams",
 }
 
 // String returns the counter's snake_case name (also its expvar key).
@@ -102,6 +114,7 @@ const (
 	GaugeGraphEdges               // partial sequential graph edge count
 	GaugeCacheBytes               // resident compiled-graph cache footprint
 	GaugeCacheGraphs              // resident compiled-graph count
+	GaugeServeInFlight            // admitted service requests currently running
 
 	numGauges
 )
@@ -110,8 +123,9 @@ var gaugeNames = [numGauges]string{
 	GaugeWorkers:     "workers",
 	GaugeGraphVerts:  "graph_verts",
 	GaugeGraphEdges:  "graph_edges",
-	GaugeCacheBytes:  "cache_bytes",
-	GaugeCacheGraphs: "cache_graphs",
+	GaugeCacheBytes:    "cache_bytes",
+	GaugeCacheGraphs:   "cache_graphs",
+	GaugeServeInFlight: "serve_in_flight",
 }
 
 // String returns the gauge's snake_case name.

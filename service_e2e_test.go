@@ -1,0 +1,278 @@
+package iterskew_test
+
+// End-to-end service test: a real TCP daemon (internal/serve behind a
+// net/http Server on a kernel socket, exactly what cmd/iterskewd runs) is
+// driven through the full client lifecycle on the superblue fixture —
+// upload, handle, schedule, stream, drain — and its answers must be
+// byte-identical to the in-process flow.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"iterskew"
+	"iterskew/internal/netio"
+	"iterskew/internal/netlist"
+	"iterskew/internal/sched"
+	"iterskew/internal/serve"
+)
+
+// startDaemon runs the service on a real ephemeral TCP port and returns its
+// base URL plus the server for Drain.
+func startDaemon(t *testing.T, cfg serve.Config) (*serve.Server, string) {
+	t.Helper()
+	s := serve.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	})
+	return s, "http://" + ln.Addr().String()
+}
+
+func TestServiceEndToEnd(t *testing.T) {
+	p, err := iterskew.SuperblueProfile("superblue18", 0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := iterskew.GenerateBenchmark(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var netBuf bytes.Buffer
+	if err := netio.Write(&netBuf, d); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, base := startDaemon(t, serve.Config{MaxInFlight: 2})
+
+	// Upload once; schedule many.
+	resp, err := http.Post(base+"/v1/graphs", "text/plain", bytes.NewReader(netBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	upRaw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: HTTP %d: %s", resp.StatusCode, upRaw)
+	}
+	var up serve.UploadResponse
+	if err := json.Unmarshal(upRaw, &up); err != nil {
+		t.Fatal(err)
+	}
+	if up.FFs != d.Stats().FFs {
+		t.Fatalf("upload FFs = %d, want %d", up.FFs, d.Stats().FFs)
+	}
+
+	// The service's default job is the paper's early-stage CSS. Its QoR must
+	// be byte-identical to the in-process flow (OursEarly, CSS only).
+	rep, err := iterskew.RunFlow(d, iterskew.FlowConfig{Method: iterskew.OursEarly, SkipOpt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err = http.Post(base+"/v1/graphs/"+up.Handle+"/jobs", "application/json",
+		strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobRaw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job: HTTP %d: %s", resp.StatusCode, jobRaw)
+	}
+	var jr serve.JobResponse
+	if err := json.Unmarshal(jobRaw, &jr); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"wns_early", jr.WNSEarlyPS, rep.Final.WNSEarly},
+		{"tns_early", jr.TNSEarlyPS, rep.Final.TNSEarly},
+		{"wns_late", jr.WNSLatePS, rep.Final.WNSLate},
+		{"tns_late", jr.TNSLatePS, rep.Final.TNSLate},
+	} {
+		if math.Float64bits(f.got) != math.Float64bits(f.want) {
+			t.Fatalf("%s over HTTP = %v, in-process flow = %v (bitwise)", f.name, f.got, f.want)
+		}
+	}
+	if jr.Rounds != rep.Rounds {
+		t.Fatalf("rounds over HTTP = %d, flow = %d", jr.Rounds, rep.Rounds)
+	}
+	if jr.StopReason != sched.StopConverged.String() {
+		t.Fatalf("stop_reason = %s", jr.StopReason)
+	}
+	if len(jr.Target) == 0 {
+		t.Fatalf("superblue schedule came back empty")
+	}
+	for k := range jr.Target {
+		if _, err := strconv.Atoi(k); err != nil {
+			t.Fatalf("target key %q is not a cell id", k)
+		}
+	}
+
+	// Streamed twin: round events plus an identical terminal result.
+	resp, err = http.Post(base+"/v1/graphs/"+up.Handle+"/jobs", "application/json",
+		strings.NewReader(`{"stream":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream job: HTTP %d", resp.StatusCode)
+	}
+	var rounds int
+	var streamed serve.JobResponse
+	final := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("stream line: %v", err)
+		}
+		switch probe.Type {
+		case "round":
+			rounds++
+		case "result":
+			if err := json.Unmarshal(sc.Bytes(), &streamed); err != nil {
+				t.Fatal(err)
+			}
+			final = true
+		}
+	}
+	resp.Body.Close()
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !final || rounds != rep.Rounds {
+		t.Fatalf("stream: final=%v rounds=%d, want %d round events", final, rounds, rep.Rounds)
+	}
+	streamed.ElapsedMS, jr.ElapsedMS = 0, 0
+	sj, _ := json.Marshal(streamed)
+	pj, _ := json.Marshal(jr)
+	if !bytes.Equal(sj, pj) {
+		t.Fatalf("streamed result diverges from plain result")
+	}
+
+	// What-if session on the same handle: targets byte-identical to a
+	// dedicated in-process run at the same period.
+	whatif := d.Period * 1.08
+	resp, err = http.Post(base+"/v1/graphs/"+up.Handle+"/jobs", "application/json",
+		strings.NewReader(`{"period_ps":`+strconv.FormatFloat(whatif, 'g', -1, 64)+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wRaw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("what-if job: HTTP %d: %s", resp.StatusCode, wRaw)
+	}
+	var wr serve.JobResponse
+	if err := json.Unmarshal(wRaw, &wr); err != nil {
+		t.Fatal(err)
+	}
+	dd := d.Clone()
+	dd.Period = whatif
+	wantRep, err := iterskew.RunFlow(dd, iterskew.FlowConfig{Method: iterskew.OursEarly, SkipOpt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(wr.TNSEarlyPS) != math.Float64bits(wantRep.Final.TNSEarly) {
+		t.Fatalf("what-if TNS over HTTP = %v, in-process = %v", wr.TNSEarlyPS, wantRep.Final.TNSEarly)
+	}
+
+	// Drain: stops admitting, then the daemon reports quiescence.
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	resp, err = http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after drain: HTTP %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Post(base+"/v1/graphs/"+up.Handle+"/jobs", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("job after drain: HTTP %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestServiceTargetsMatchSchedulerContract pins the wire format's cell-id
+// encoding: every target key decodes to a flip-flop of the design.
+func TestServiceTargetsMatchSchedulerContract(t *testing.T) {
+	p, err := iterskew.SuperblueProfile("superblue18", 0.004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := iterskew.GenerateBenchmark(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var netBuf bytes.Buffer
+	if err := netio.Write(&netBuf, d); err != nil {
+		t.Fatal(err)
+	}
+	_, base := startDaemon(t, serve.Config{})
+	resp, err := http.Post(base+"/v1/graphs", "text/plain", bytes.NewReader(netBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up serve.UploadResponse
+	err = json.NewDecoder(resp.Body).Decode(&up)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/v1/graphs/"+up.Handle+"/jobs", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr serve.JobResponse
+	err = json.NewDecoder(resp.Body).Decode(&jr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, err := jr.TargetCells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	isFF := make(map[netlist.CellID]bool, len(d.FFs))
+	for _, ff := range d.FFs {
+		isFF[ff] = true
+	}
+	for ff, lat := range targets {
+		if !isFF[ff] {
+			t.Fatalf("target cell %d is not a flip-flop", ff)
+		}
+		if !(lat > 0) || math.IsInf(lat, 0) || math.IsNaN(lat) {
+			t.Fatalf("target[%d] = %v, want positive finite latency", ff, lat)
+		}
+	}
+}
