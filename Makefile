@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench fuzz-smoke oracle-check obs-smoke engine-smoke cancel-smoke codec-smoke serve-smoke
+.PHONY: ci vet build test race bench fuzz-smoke oracle-check obs-smoke engine-smoke cancel-smoke codec-smoke serve-smoke metrics-smoke
 
-ci: vet build test race fuzz-smoke obs-smoke engine-smoke cancel-smoke codec-smoke serve-smoke oracle-check
+ci: vet build test race fuzz-smoke obs-smoke engine-smoke cancel-smoke codec-smoke serve-smoke metrics-smoke oracle-check
 
 vet:
 	$(GO) vet ./...
@@ -131,3 +131,46 @@ serve-smoke:
 	@grep -q 'draining' $(SERVE_TMP)/daemon.log || \
 	    { echo "serve-smoke: daemon log shows no drain"; cat $(SERVE_TMP)/daemon.log; exit 1; }
 	@echo "serve-smoke: upload/schedule byte-identical over HTTP, backpressure fired, drained on SIGTERM"
+
+# Telemetry smoke: boot iterskewd with an access log, push real traffic
+# through it with the load harness (whose run embeds a two-scrape /metrics
+# cross-check: exposition well-formedness via obs.ParseExposition, counter
+# monotonicity across scrapes, and scraped-delta agreement with the client's
+# own accounting — the harness exits non-zero if any of it fails), then
+# independently re-scrape /metrics twice and assert the serve_jobs counter is
+# present, sane, and did not move between two idle scrapes.
+METRICS_TMP ?= /tmp/iterskew-metrics-smoke
+metrics-smoke:
+	rm -rf $(METRICS_TMP) && mkdir -p $(METRICS_TMP)
+	$(GO) build -o $(METRICS_TMP)/iterskewd ./cmd/iterskewd
+	$(GO) build -o $(METRICS_TMP)/cssbench ./cmd/cssbench
+	$(METRICS_TMP)/iterskewd -addr 127.0.0.1:0 -maxinflight 2 -workers 2 \
+	    -addrfile $(METRICS_TMP)/addr -accesslog $(METRICS_TMP)/access.jsonl \
+	    > $(METRICS_TMP)/daemon.log 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do test -s $(METRICS_TMP)/addr && break; \
+	    kill -0 $$pid 2>/dev/null || { echo "metrics-smoke: daemon died"; cat $(METRICS_TMP)/daemon.log; exit 1; }; \
+	    sleep 0.05; done; \
+	addr=$$(cat $(METRICS_TMP)/addr); \
+	$(METRICS_TMP)/cssbench -scale 0.004 -designs superblue18 \
+	    -serveaddr http://$$addr -load 3 -loadjobs 6 \
+	    -json $(METRICS_TMP)/bench.json > $(METRICS_TMP)/load.txt 2>&1 || \
+	    { echo "metrics-smoke: load harness (incl. /metrics cross-check) failed"; \
+	      cat $(METRICS_TMP)/load.txt $(METRICS_TMP)/daemon.log; exit 1; }; \
+	curl -sf http://$$addr/metrics > $(METRICS_TMP)/scrape1.txt || { echo "metrics-smoke: scrape 1 failed"; exit 1; }; \
+	curl -sf http://$$addr/metrics > $(METRICS_TMP)/scrape2.txt || { echo "metrics-smoke: scrape 2 failed"; exit 1; }; \
+	kill -TERM $$pid; wait $$pid || { echo "metrics-smoke: daemon did not drain"; cat $(METRICS_TMP)/daemon.log; exit 1; }
+	@grep -q '"exposition_valid": true' $(METRICS_TMP)/bench.json || \
+	    { echo "metrics-smoke: exposition invalid"; cat $(METRICS_TMP)/bench.json; exit 1; }
+	@grep -q '"counters_monotonic": true' $(METRICS_TMP)/bench.json || \
+	    { echo "metrics-smoke: counters regressed between scrapes"; cat $(METRICS_TMP)/bench.json; exit 1; }
+	@grep -q '"consistent_with_client": true' $(METRICS_TMP)/bench.json || \
+	    { echo "metrics-smoke: scraped deltas disagree with client accounting"; cat $(METRICS_TMP)/bench.json; exit 1; }
+	@jobs1=$$(grep '^iterskew_serve_jobs_total ' $(METRICS_TMP)/scrape1.txt | awk '{print $$2}'); \
+	jobs2=$$(grep '^iterskew_serve_jobs_total ' $(METRICS_TMP)/scrape2.txt | awk '{print $$2}'); \
+	test -n "$$jobs1" || { echo "metrics-smoke: serve_jobs_total missing from scrape"; exit 1; }; \
+	test "$$jobs1" = "18" || { echo "metrics-smoke: serve_jobs_total=$$jobs1, want 18"; exit 1; }; \
+	test "$$jobs1" = "$$jobs2" || { echo "metrics-smoke: idle counter moved: $$jobs1 -> $$jobs2"; exit 1; }
+	@grep -q '"route":"jobs"' $(METRICS_TMP)/access.jsonl || \
+	    { echo "metrics-smoke: access log has no jobs-route line"; cat $(METRICS_TMP)/access.jsonl; exit 1; }
+	@echo "metrics-smoke: exposition valid, counters monotonic and consistent, access log written"

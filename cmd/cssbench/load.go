@@ -21,6 +21,7 @@ import (
 	"iterskew/internal/fpm"
 	"iterskew/internal/iccss"
 	"iterskew/internal/netio"
+	"iterskew/internal/obs"
 	"iterskew/internal/sched"
 	"iterskew/internal/serve"
 	"iterskew/internal/timing"
@@ -31,13 +32,13 @@ import (
 // percentiles, throughput, backpressure accounting, and a byte-identity
 // verdict against in-process runs of the same jobs.
 type serviceJSON struct {
-	Addr          string  `json:"addr"`
-	Design        string  `json:"design"`
-	Clients       int     `json:"clients"`
-	JobsPerClient int     `json:"jobs_per_client"`
-	Completed     int     `json:"jobs_completed"`
-	Streamed      int     `json:"jobs_streamed"`
-	RoundLines    int     `json:"stream_round_lines"`
+	Addr          string `json:"addr"`
+	Design        string `json:"design"`
+	Clients       int    `json:"clients"`
+	JobsPerClient int    `json:"jobs_per_client"`
+	Completed     int    `json:"jobs_completed"`
+	Streamed      int    `json:"jobs_streamed"`
+	RoundLines    int    `json:"stream_round_lines"`
 	// Rejected429 counts admission refusals; under more clients than the
 	// daemon's -maxinflight it must be nonzero (the serve-smoke CI target
 	// asserts this — backpressure reaching the client is the feature).
@@ -52,6 +53,96 @@ type serviceJSON struct {
 	// Identical asserts every job's schedule and QoR came back bit-for-bit
 	// equal to an in-process engine run of the same (scheduler, period) spec.
 	Identical bool `json:"identical_to_inprocess"`
+	// Metrics is the /metrics cross-check: two scrapes bracketing the client
+	// traffic, validated against the client's own accounting.
+	Metrics *metricsJSON `json:"metrics,omitempty"`
+}
+
+// metricsJSON records the daemon's Prometheus exposition as seen by the load
+// harness: scrape 1 lands after the upload (before client traffic), scrape 2
+// after the last job. Consistent asserts the scraped deltas agree with the
+// client side: serve_jobs_total moved by exactly the completed-job count, and
+// the jobs route saw completed + 429-refused requests.
+type metricsJSON struct {
+	ExpositionValid bool  `json:"exposition_valid"`
+	Series          int   `json:"series"`
+	Monotonic       bool  `json:"counters_monotonic"`
+	JobsDelta       int64 `json:"serve_jobs_total_delta"`
+	JobsRouteDelta  int64 `json:"jobs_route_requests_delta"`
+	SchedulerHists  bool  `json:"per_scheduler_histograms"`
+	Consistent      bool  `json:"consistent_with_client"`
+}
+
+// scrapeMetrics GETs and validates one Prometheus exposition.
+func scrapeMetrics(client *http.Client, url string) (map[string]float64, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		return nil, fmt.Errorf("%s: content type %q is not Prometheus text v0.0.4", url, ct)
+	}
+	return obs.ParseExposition(data)
+}
+
+// isMonotonicKind reports whether a sample name must never decrease.
+func isMonotonicKind(name string) bool {
+	return strings.HasSuffix(name, "_total") || strings.HasSuffix(name, "_count") ||
+		strings.HasSuffix(name, "_bucket")
+}
+
+// checkMetrics derives the metrics block from the two scrapes plus the
+// client-side accounting.
+func checkMetrics(before, after map[string]float64, completed, jobsRejected int) *metricsJSON {
+	mj := &metricsJSON{ExpositionValid: true, Series: len(after), Monotonic: true}
+	for key, v1 := range before {
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if !isMonotonicKind(name) {
+			continue
+		}
+		if v2, ok := after[key]; ok && v2 < v1 {
+			mj.Monotonic = false
+			fmt.Fprintf(os.Stderr, "metrics: counter %s went backwards: %g -> %g\n", key, v1, v2)
+		}
+	}
+	sumDelta := func(name, labelSel string) int64 {
+		var d float64
+		for key, v2 := range after {
+			if !strings.HasPrefix(key, name+"{") || !strings.Contains(key, labelSel) {
+				continue
+			}
+			d += v2 - before[key]
+		}
+		return int64(math.Round(d))
+	}
+	mj.JobsDelta = int64(math.Round(after["iterskew_serve_jobs_total"] - before["iterskew_serve_jobs_total"]))
+	mj.JobsRouteDelta = sumDelta("iterskew_http_requests_total", `route="jobs"`)
+	mj.SchedulerHists = true
+	for _, schedName := range []string{"core", "iccss", "fpm"} {
+		if after[fmt.Sprintf("iterskew_serve_job_seconds_count{scheduler=%q}", schedName)] <= 0 {
+			mj.SchedulerHists = false
+			fmt.Fprintf(os.Stderr, "metrics: no serve_job_seconds series for scheduler %s\n", schedName)
+		}
+	}
+	mj.Consistent = mj.JobsDelta == int64(completed) &&
+		mj.JobsRouteDelta == int64(completed+jobsRejected)
+	if !mj.Consistent {
+		fmt.Fprintf(os.Stderr,
+			"metrics: scraped deltas disagree with client: jobs %d (want %d), jobs-route requests %d (want %d)\n",
+			mj.JobsDelta, completed, mj.JobsRouteDelta, completed+jobsRejected)
+	}
+	return mj
 }
 
 // loadSpec returns job j's deterministic spec: schedulers rotate, what-if
@@ -138,6 +229,14 @@ func runLoad(addr, designs string, scale float64, clients, jobsPer int, jsonPath
 		refs[j].target = res.Target
 	}
 
+	// Scrape 1: after the upload, before any client job traffic, so the job
+	// deltas across the run are attributable to this harness alone.
+	scrape1, err := scrapeMetrics(client, addr+"/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics scrape 1: %w", err)
+	}
+	rejectedBefore := sj.Rejected429
+
 	var (
 		mu        sync.Mutex
 		latencies []float64
@@ -211,6 +310,11 @@ func runLoad(addr, designs string, scale float64, clients, jobsPer int, jsonPath
 	if firstErr != nil {
 		return firstErr
 	}
+	scrape2, err := scrapeMetrics(client, addr+"/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics scrape 2: %w", err)
+	}
+	sj.Metrics = checkMetrics(scrape1, scrape2, sj.Completed, sj.Rejected429-rejectedBefore)
 	sj.Identical = identical
 	if sj.WallSec > 0 {
 		sj.JobsPerSec = float64(sj.Completed) / sj.WallSec
@@ -226,6 +330,8 @@ func runLoad(addr, designs string, scale float64, clients, jobsPer int, jsonPath
 	fmt.Printf("  %d clients x %d jobs: %d completed (%d streamed, %d round lines), %d x 429, %.1f jobs/s\n",
 		clients, jobsPer, sj.Completed, sj.Streamed, sj.RoundLines, sj.Rejected429, sj.JobsPerSec)
 	fmt.Printf("  latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n", sj.P50Ms, sj.P90Ms, sj.P99Ms, sj.MaxMs)
+	fmt.Printf("  metrics: %d series, monotonic=%v, jobs delta %d, jobs-route delta %d, consistent=%v\n",
+		sj.Metrics.Series, sj.Metrics.Monotonic, sj.Metrics.JobsDelta, sj.Metrics.JobsRouteDelta, sj.Metrics.Consistent)
 
 	if jsonPath != "" {
 		if err := mergeServiceJSON(jsonPath, sj); err != nil {
@@ -238,6 +344,10 @@ func runLoad(addr, designs string, scale float64, clients, jobsPer int, jsonPath
 	}
 	if sj.RetryAfterMissing > 0 {
 		return fmt.Errorf("%d x 429 without a Retry-After header", sj.RetryAfterMissing)
+	}
+	if !sj.Metrics.Monotonic || !sj.Metrics.Consistent || !sj.Metrics.SchedulerHists {
+		return fmt.Errorf("/metrics cross-check failed (monotonic=%v consistent=%v scheduler_hists=%v)",
+			sj.Metrics.Monotonic, sj.Metrics.Consistent, sj.Metrics.SchedulerHists)
 	}
 	fmt.Println("  all service schedules byte-identical to in-process runs")
 	return nil

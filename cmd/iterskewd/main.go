@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"io"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -32,6 +34,18 @@ func main() {
 	}
 }
 
+// outWriter resolves a log-destination flag: "" disables (nil writer), "-"
+// means stdout, anything else is a file opened for append.
+func outWriter(path string) (io.Writer, error) {
+	switch path {
+	case "":
+		return nil, nil
+	case "-":
+		return os.Stdout, nil
+	}
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
 func run() error {
 	var (
 		addr         = flag.String("addr", ":8077", "listen address (use 127.0.0.1:0 for an ephemeral port)")
@@ -42,16 +56,44 @@ func run() error {
 		maxJobRounds = flag.Int("maxjobrounds", 0, "server-wide clamp on a job's max_rounds (0 = scheduler defaults)")
 		addrFile     = flag.String("addrfile", "", "write the resolved listen address to this file once serving")
 		drainTO      = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight jobs on shutdown")
+		accessLog    = flag.String("accesslog", "", "structured JSONL access-log file (\"-\" = stdout; empty disables)")
+		eventsOut    = flag.String("events", "", "daemon JSONL event sink: round/qor events (\"-\" = stdout; empty disables)")
+		showVersion  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
 
+	if *showVersion {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			fmt.Println("iterskewd (no build info)")
+			return nil
+		}
+		fmt.Printf("iterskewd %s %s\n", bi.Main.Version, bi.GoVersion)
+		for _, st := range bi.Settings {
+			if st.Key == "vcs.revision" || st.Key == "vcs.time" || st.Key == "vcs.modified" {
+				fmt.Printf("  %s=%s\n", st.Key, st.Value)
+			}
+		}
+		return nil
+	}
+
 	rec := obs.NewRecorder()
+	if w, err := outWriter(*eventsOut); err != nil {
+		return fmt.Errorf("events: %w", err)
+	} else if w != nil {
+		rec.EnableEvents(w)
+	}
+	alw, err := outWriter(*accessLog)
+	if err != nil {
+		return fmt.Errorf("accesslog: %w", err)
+	}
 	srv := serve.New(serve.Config{
 		MaxInFlight:  *maxInFlight,
 		Workers:      *workers,
 		CacheBytes:   *cacheBytes,
 		MaxJobRounds: *maxJobRounds,
 		Recorder:     rec,
+		AccessLog:    alw,
 	})
 
 	if *debugAddr != "" {

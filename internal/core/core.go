@@ -121,7 +121,8 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 	if rec == nil {
 		rec = tm.Recorder()
 	}
-	runSp := rec.StartSpan(obs.SpanSchedule)
+	req := obs.RequestID(opts.Context)
+	runSp := rec.StartSpan(obs.SpanSchedule).WithReq(req)
 	// Cooperative cancellation: the amortized stop hook is installed on the
 	// timer only when a context or deadline is present, so uncancelled runs
 	// execute exactly the code they always did.
@@ -159,7 +160,7 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 	var edgeBuf []timing.SeqEdge
 
 	extract := func(force bool) int {
-		esp := rec.StartSpan(obs.SpanRoundExtract)
+		esp := rec.StartSpan(obs.SpanRoundExtract).WithReq(req)
 		if opts.Margin > 0 {
 			// §V amplification: treat endpoints within the margin as
 			// violated, so near-critical edges (e.g. the remaining arcs of
@@ -210,7 +211,7 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 			rec.SetGauge(obs.GaugeGraphVerts, int64(g.NumVertices()))
 			rec.SetGauge(obs.GaugeGraphEdges, int64(len(g.Edges)))
 			rec.Emit(obs.Event{
-				Type: "round", Algo: "core", Mode: opts.Mode.String(),
+				Type: "round", Req: req, Algo: "core", Mode: opts.Mode.String(),
 				Round: st.Round, WNS: st.WNS, TNS: st.TNS,
 				NewEdges: st.NewEdges, Raised: st.Raised, CycleLen: st.CycleLen,
 				MaxInc: st.MaxInc, TimerPins: st.TimerPins, Stall: stall,
@@ -251,7 +252,7 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 			res.StopReason = r
 			break
 		}
-		roundSp := rec.StartSpan(obs.SpanRound)
+		roundSp := rec.StartSpan(obs.SpanRound).WithReq(req)
 		newEdges := extract(false)
 
 		// Current weights (Eq 10 realized by re-evaluating Eq 1–2 under the
@@ -268,7 +269,7 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 		// into it. Slacks beyond the band drop out.
 		essential := func(eid int32) bool { return w[eid] < opts.Margin+eps }
 
-		fsp := rec.StartSpan(obs.SpanRoundForest)
+		fsp := rec.StartSpan(obs.SpanRoundForest).WithReq(req)
 		forest, cyc := g.BuildForest(w, essential, math.Inf(1))
 
 		st := IterStats{Round: round, NewEdges: newEdges}
@@ -349,7 +350,7 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 			continue
 		}
 
-		psp := rec.StartSpan(obs.SpanRoundPasses)
+		psp := rec.StartSpan(obs.SpanRoundPasses).WithReq(req)
 		head := HeadroomFunc(tm, g, opts, res.Target)
 		lmax := PassOne(g, forest, w, essential, head)
 		inc, capped := PassTwo(g, forest, w, essential, lmax)

@@ -20,6 +20,7 @@ import (
 	"iterskew/internal/core"
 	"iterskew/internal/delay"
 	"iterskew/internal/netlist"
+	"iterskew/internal/obs"
 	"iterskew/internal/sched"
 	"iterskew/internal/timing"
 )
@@ -130,6 +131,7 @@ func (e *Engine) acquire() *timing.State {
 func (e *Engine) release(s *timing.State) {
 	s.SetRecorder(nil)
 	s.SetCheck(nil)
+	s.SetReq("")
 	// Reassert the engine-configured width: a per-job Options.Workers (or a
 	// scheduler that never reached its width restore) must not leak across
 	// pooled sessions. Config.Workers == 0 means serial states (width 1),
@@ -261,6 +263,9 @@ func (e *Engine) Run(job Job) (*sched.Result, error) {
 		}
 		if job.Options.Recorder != nil {
 			tm.SetRecorder(job.Options.Recorder)
+		}
+		if req := obs.RequestID(job.Options.Context); req != "" {
+			tm.SetReq(req)
 		}
 		s := job.Scheduler
 		if s == nil {

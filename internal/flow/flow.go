@@ -279,6 +279,7 @@ func runGraph(g *timing.Graph, cfg Config) (*Report, error) {
 		tm.SetRecorder(rec)
 		rec.Emit(obs.Event{
 			Type:   "run",
+			Req:    obs.RequestID(cfg.Context),
 			Method: cfg.Method.String(),
 			Design: fmt.Sprintf("%d cells / %d nets", len(d.Cells), len(d.Nets)),
 		})
@@ -400,7 +401,7 @@ func (rep *Report) applyOpt(tm *timing.Timer, targets map[netlist.CellID]float64
 	)
 	if cfg.Recorder != nil {
 		cfg.Recorder.Emit(obs.Event{
-			Type: "phase", Phase: phase + "-opt",
+			Type: "phase", Req: obs.RequestID(cfg.Context), Phase: phase + "-opt",
 			WNS: we, TNS: te,
 		})
 	}

@@ -53,7 +53,7 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 	if rec == nil {
 		rec = tm.Recorder()
 	}
-	runSp := rec.StartSpan(obs.SpanSchedule)
+	runSp := rec.StartSpan(obs.SpanSchedule).WithReq(obs.RequestID(opts.Context))
 	d := tm.D
 	g := seqgraph.New()
 	isPort := func(c netlist.CellID) bool {

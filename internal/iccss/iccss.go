@@ -61,7 +61,8 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 	if rec == nil {
 		rec = tm.Recorder()
 	}
-	runSp := rec.StartSpan(obs.SpanSchedule)
+	req := obs.RequestID(opts.Context)
+	runSp := rec.StartSpan(obs.SpanSchedule).WithReq(req)
 	// Cooperative cancellation and Workers, with the same save/restore
 	// discipline as core.Schedule: hooks and widths never leak past the run.
 	cc := opts.Canceller()
@@ -290,7 +291,7 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 		rec.SetGauge(obs.GaugeGraphEdges, int64(len(g.Edges)))
 		wns, tns := tm.WNSTNS(opts.Mode)
 		rec.Emit(obs.Event{
-			Type: "round", Algo: "iccss", Mode: opts.Mode.String(),
+			Type: "round", Req: req, Algo: "iccss", Mode: opts.Mode.String(),
 			Round: round, WNS: wns, TNS: tns,
 			NewEdges: newEdges, Raised: raised, CycleLen: cycleLen,
 			ElapsedMS: float64(time.Since(start).Nanoseconds()) / 1e6,
@@ -303,7 +304,7 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 			res.StopReason = r
 			break
 		}
-		roundSp := rec.StartSpan(obs.SpanRound)
+		roundSp := rec.StartSpan(obs.SpanRound).WithReq(req)
 		newEdges := extractCritical()
 
 		w := make([]float64, len(g.Edges))

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// Request-scoped trace correlation. A request ID minted (or accepted) at the
+// service edge rides a context.Context through the engine into scheduler
+// rounds and timer spans, so one slow request can be followed across the
+// JSONL event stream, the access log, the Chrome trace, and the error body —
+// they all carry the same `req` field.
+
+type reqIDKey struct{}
+
+// WithRequestID returns a context carrying the request ID. An empty id
+// returns ctx unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestID extracts the request ID from a context ("" when absent; a nil
+// context is valid and yields "").
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// reqFallback seeds locally unique IDs if crypto/rand ever fails.
+var reqFallback atomic.Uint64
+
+// NewRequestID mints a fresh 16-hex-character request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := reqFallback.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}

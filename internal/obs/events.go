@@ -14,8 +14,14 @@ import (
 //   - "run":   a scheduling run started (Design, Method)
 //   - "round": one update-extract round (the IterStats trajectory record)
 //   - "phase": a coarse flow phase completed, with its post-phase QoR
+//   - "qor":   one finished service job's final quality of results
+//
+// Events emitted on behalf of a service request carry the request ID in Req,
+// matching the access-log line, the trace spans, and any error body of the
+// same request.
 type Event struct {
 	Type  string `json:"type"`
+	Req   string `json:"req,omitempty"`   // request ID for service-job correlation
 	Phase string `json:"phase,omitempty"` // coarse flow phase, e.g. "early-css"
 	Algo  string `json:"algo,omitempty"`  // "core" | "iccss" | "fpm"
 	Mode  string `json:"mode,omitempty"`  // "early" | "late"
@@ -59,15 +65,19 @@ func (r *Recorder) EnableEvents(w io.Writer) *Recorder {
 	return r
 }
 
-// Emit writes one event line. The recorder's current phase label is stamped
-// onto the event if the event doesn't carry one. No-op (and allocation-free)
-// on a nil Recorder or when events are not enabled.
+// Emit writes one event line. The recorder's current phase label and default
+// request ID are stamped onto the event if the event doesn't carry its own.
+// No-op (and allocation-free) on a nil Recorder or when events are not
+// enabled.
 func (r *Recorder) Emit(ev Event) {
 	if r == nil || r.events == nil {
 		return
 	}
 	if ev.Phase == "" {
 		ev.Phase = r.Phase()
+	}
+	if ev.Req == "" {
+		ev.Req = r.Req()
 	}
 	r.events.Emit(ev)
 }

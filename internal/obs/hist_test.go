@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramEdgeCases pins the quantile/bucket behaviour at the
+// boundaries: an empty histogram, a single observation, negative durations
+// (clamped to zero), and observations beyond the last bucket edge (folded
+// into the overflow bucket rather than dropped).
+func TestHistogramEdgeCases(t *testing.T) {
+	t.Run("zero samples", func(t *testing.T) {
+		var h Histogram
+		s := h.Snapshot()
+		if s.Count != 0 || s.SumNs != 0 {
+			t.Fatalf("empty histogram: count=%d sum=%d", s.Count, s.SumNs)
+		}
+		if got := s.AvgUs(); got != 0 {
+			t.Fatalf("empty AvgUs = %v, want 0", got)
+		}
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got := s.QuantileUs(q); got != 0 {
+				t.Fatalf("empty QuantileUs(%v) = %v, want 0", q, got)
+			}
+		}
+	})
+
+	t.Run("single sample", func(t *testing.T) {
+		var h Histogram
+		h.Observe(3 * time.Microsecond) // bucket 2: [2µs, 4µs)
+		s := h.Snapshot()
+		if s.Count != 1 || s.SumNs != 3000 {
+			t.Fatalf("count=%d sum=%d, want 1/3000", s.Count, s.SumNs)
+		}
+		if got := s.AvgUs(); got != 3 {
+			t.Fatalf("AvgUs = %v, want 3", got)
+		}
+		// Every quantile of a one-sample histogram is that sample's bucket
+		// top edge.
+		for _, q := range []float64{0, 0.5, 1} {
+			if got := s.QuantileUs(q); got != 4 {
+				t.Fatalf("QuantileUs(%v) = %v, want 4 (top edge of [2µs,4µs))", q, got)
+			}
+		}
+	})
+
+	t.Run("negative clamps to zero", func(t *testing.T) {
+		var h Histogram
+		h.Observe(-time.Second)
+		s := h.Snapshot()
+		if s.Count != 1 || s.SumNs != 0 {
+			t.Fatalf("count=%d sum=%d, want 1/0", s.Count, s.SumNs)
+		}
+		if s.Bucket[0] != 1 {
+			t.Fatalf("negative observation not in bucket 0: %v", s.Bucket)
+		}
+	})
+
+	t.Run("overflow bucket", func(t *testing.T) {
+		var h Histogram
+		// ~292 years: far beyond the last real bucket edge (2^39 µs).
+		h.Observe(time.Duration(1<<62 - 1))
+		s := h.Snapshot()
+		if s.Count != 1 {
+			t.Fatalf("count = %d, want 1", s.Count)
+		}
+		if s.Bucket[histBuckets-1] != 1 {
+			t.Fatalf("huge observation not folded into the overflow bucket: %v", s.Bucket)
+		}
+		// The overflow quantile reports the synthetic top edge, not zero.
+		if got := s.QuantileUs(1); got <= 0 {
+			t.Fatalf("overflow QuantileUs(1) = %v, want > 0", got)
+		}
+	})
+
+	t.Run("sub-microsecond bucket zero", func(t *testing.T) {
+		var h Histogram
+		h.Observe(500 * time.Nanosecond)
+		s := h.Snapshot()
+		if s.Bucket[0] != 1 {
+			t.Fatalf("sub-µs observation not in bucket 0: %v", s.Bucket)
+		}
+		if got := s.QuantileUs(0.5); got != 1 {
+			t.Fatalf("bucket-0 quantile = %v, want 1 (its 1µs top edge)", got)
+		}
+	})
+}
+
+// TestHistogramConcurrentWriters hammers one histogram from many goroutines
+// (meaningful under -race) and checks the aggregate invariants afterwards:
+// total count, exact sum, and count == sum over buckets.
+func TestHistogramConcurrentWriters(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 2000
+	)
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				// A spread of magnitudes so several buckets race at once.
+				h.Observe(time.Duration(1+(i%11)*(w+1)) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := h.Snapshot()
+	if s.Count != writers*perW {
+		t.Fatalf("count = %d, want %d", s.Count, writers*perW)
+	}
+	var wantSum, bucketSum int64
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perW; i++ {
+			wantSum += int64(1+(i%11)*(w+1)) * 1000
+		}
+	}
+	if s.SumNs != wantSum {
+		t.Fatalf("sum = %d ns, want %d", s.SumNs, wantSum)
+	}
+	for _, c := range s.Bucket {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket total %d != count %d", bucketSum, s.Count)
+	}
+	// Quantiles are monotone in q.
+	prev := 0.0
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		v := s.QuantileUs(q)
+		if v < prev {
+			t.Fatalf("QuantileUs not monotone: q=%v gives %v after %v", q, v, prev)
+		}
+		prev = v
+	}
+}

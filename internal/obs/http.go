@@ -40,11 +40,11 @@ type DebugServer struct {
 	ln   net.Listener
 }
 
-// StartDebugServer serves /debug/pprof/* (the full net/http/pprof surface)
-// and /debug/vars (expvar, including the recorder's live counters under the
-// "iterskew" key) on addr, in a background goroutine. It uses a private mux,
-// so nothing leaks onto http.DefaultServeMux. Close the returned server when
-// done.
+// StartDebugServer serves /debug/pprof/* (the full net/http/pprof surface),
+// /debug/vars (expvar, including the recorder's live counters under the
+// "iterskew" key) and /metrics (Prometheus text exposition of the recorder)
+// on addr, in a background goroutine. It uses a private mux, so nothing
+// leaks onto http.DefaultServeMux. Close the returned server when done.
 func StartDebugServer(addr string, r *Recorder) (*DebugServer, error) {
 	publishExpvar(r)
 	mux := http.NewServeMux()
@@ -54,8 +54,9 @@ func StartDebugServer(addr string, r *Recorder) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", MetricsHandler(r))
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
-		fmt.Fprintf(w, "iterskew debug server\n/debug/pprof/\n/debug/vars\n")
+		fmt.Fprintf(w, "iterskew debug server\n/debug/pprof/\n/debug/vars\n/metrics\n")
 	})
 
 	ln, err := net.Listen("tcp", addr)

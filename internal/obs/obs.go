@@ -156,7 +156,13 @@ type Recorder struct {
 
 	mu     sync.Mutex
 	phase  string // current coarse phase label, stamped onto events
+	req    string // default request ID stamped onto events without one
 	phases map[string]*phaseAcc
+
+	// Labeled Prometheus families (promtext.go): registration order for
+	// deterministic exposition, plus a by-name index for get-or-create.
+	labeled       []any
+	labeledByName map[string]any
 }
 
 // paddedInt64 spaces the per-counter atomics a cache line apart so unrelated
@@ -235,6 +241,29 @@ func (r *Recorder) SetPhase(p string) {
 	r.mu.Lock()
 	r.phase = p
 	r.mu.Unlock()
+}
+
+// SetReq sets the default request ID stamped onto subsequently emitted
+// events that don't carry their own — the per-request recorder of a
+// streamed service job sets it once so every round event lands with the
+// request's `req` field. No-op on a nil Recorder.
+func (r *Recorder) SetReq(id string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.req = id
+	r.mu.Unlock()
+}
+
+// Req returns the default request ID ("" when unset or on a nil Recorder).
+func (r *Recorder) Req() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.req
 }
 
 // Phase returns the current coarse phase label.

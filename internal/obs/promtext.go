@@ -1,0 +1,566 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the zero-dependency Prometheus exposition layer: labeled
+// counter vectors (LabeledCtr), explicit-bucket histogram vectors
+// (BucketHist), and a text-format (v0.0.4) encoder over everything a
+// Recorder holds — the enum-keyed counters and gauges, the per-span-kind
+// log2 duration histograms, and any registered labeled families. The
+// encoder is what GET /metrics serves on the daemon and the obs debug
+// sidecar; ParseExposition is the matching validator the load harness and
+// the CI smoke use to assert well-formedness and counter monotonicity.
+
+// metricPrefix namespaces every exposed family.
+const metricPrefix = "iterskew_"
+
+// labelKeySep joins label values into a series key. 0x1f (unit separator)
+// cannot appear in sane label values; values containing it still work, they
+// just might alias — acceptable for monitoring.
+const labelKeySep = "\x1f"
+
+// LabeledCtr is a labeled counter vector: one monotonic int64 per distinct
+// label-value tuple. The write path is lock-free after a series' first Add
+// (sync.Map read + one atomic add); creating a series takes one
+// LoadOrStore. A nil *LabeledCtr no-ops on every method, so instrumented
+// code can hold vectors obtained from a possibly-nil Recorder.
+type LabeledCtr struct {
+	name   string
+	help   string
+	labels []string
+	series sync.Map // series key -> *ctrSeries
+}
+
+type ctrSeries struct {
+	vals []string
+	v    int64
+}
+
+// Add adds delta to the series identified by the label values (which must
+// match the vector's label names in count and order).
+func (c *LabeledCtr) Add(delta int64, labelValues ...string) {
+	if c == nil {
+		return
+	}
+	atomic.AddInt64(&c.seriesFor(labelValues).v, delta)
+}
+
+// Value returns the current value of one series (0 if never written).
+func (c *LabeledCtr) Value(labelValues ...string) int64 {
+	if c == nil {
+		return 0
+	}
+	if s, ok := c.series.Load(strings.Join(labelValues, labelKeySep)); ok {
+		return atomic.LoadInt64(&s.(*ctrSeries).v)
+	}
+	return 0
+}
+
+func (c *LabeledCtr) seriesFor(labelValues []string) *ctrSeries {
+	key := strings.Join(labelValues, labelKeySep)
+	if s, ok := c.series.Load(key); ok {
+		return s.(*ctrSeries)
+	}
+	vals := make([]string, len(labelValues))
+	copy(vals, labelValues)
+	s, _ := c.series.LoadOrStore(key, &ctrSeries{vals: vals})
+	return s.(*ctrSeries)
+}
+
+// BucketHist is a labeled explicit-bucket histogram vector in the
+// Prometheus style: cumulative `le` buckets plus `_sum` and `_count`.
+// Bounds are the ascending finite upper bounds; the +Inf bucket is
+// implicit. Observations are lock-free after a series' first Observe.
+// A nil *BucketHist no-ops.
+type BucketHist struct {
+	name   string
+	help   string
+	labels []string
+	bounds []float64
+	series sync.Map // series key -> *histSeries
+}
+
+type histSeries struct {
+	vals    []string
+	counts  []int64 // len(bounds)+1; last is the +Inf bucket
+	count   int64
+	sumBits uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one observation on the series identified by the label
+// values. Bucket edges are inclusive (v <= bound), matching Prometheus.
+func (h *BucketHist) Observe(v float64, labelValues ...string) {
+	if h == nil {
+		return
+	}
+	s := h.seriesFor(labelValues)
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v; len(bounds) = +Inf
+	atomic.AddInt64(&s.counts[i], 1)
+	atomic.AddInt64(&s.count, 1)
+	for {
+		old := atomic.LoadUint64(&s.sumBits)
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(&s.sumBits, old, next) {
+			return
+		}
+	}
+}
+
+// Count returns one series' observation count (0 if never written).
+func (h *BucketHist) Count(labelValues ...string) int64 {
+	if h == nil {
+		return 0
+	}
+	if s, ok := h.series.Load(strings.Join(labelValues, labelKeySep)); ok {
+		return atomic.LoadInt64(&s.(*histSeries).count)
+	}
+	return 0
+}
+
+func (h *BucketHist) seriesFor(labelValues []string) *histSeries {
+	key := strings.Join(labelValues, labelKeySep)
+	if s, ok := h.series.Load(key); ok {
+		return s.(*histSeries)
+	}
+	vals := make([]string, len(labelValues))
+	copy(vals, labelValues)
+	s, _ := h.series.LoadOrStore(key, &histSeries{vals: vals, counts: make([]int64, len(h.bounds)+1)})
+	return s.(*histSeries)
+}
+
+// LabeledCounter returns (creating on first use) the named labeled counter
+// vector registered on this recorder. Later calls with the same name return
+// the same vector regardless of help/labels, so call sites can re-derive it
+// cheaply. Returns nil on a nil Recorder — safe to use, every write no-ops.
+func (r *Recorder) LabeledCounter(name, help string, labelNames ...string) *LabeledCtr {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.labeledByName[name]; ok {
+		c, _ := f.(*LabeledCtr)
+		return c
+	}
+	c := &LabeledCtr{name: name, help: help, labels: labelNames}
+	r.registerLocked(name, c)
+	return c
+}
+
+// BucketHistogram returns (creating on first use) the named explicit-bucket
+// histogram vector. Bounds must be ascending; they are copied. Returns nil
+// on a nil Recorder.
+func (r *Recorder) BucketHistogram(name, help string, bounds []float64, labelNames ...string) *BucketHist {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.labeledByName[name]; ok {
+		h, _ := f.(*BucketHist)
+		return h
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	h := &BucketHist{name: name, help: help, labels: labelNames, bounds: b}
+	r.registerLocked(name, h)
+	return h
+}
+
+func (r *Recorder) registerLocked(name string, fam any) {
+	if r.labeledByName == nil {
+		r.labeledByName = map[string]any{}
+	}
+	r.labeledByName[name] = fam
+	r.labeled = append(r.labeled, fam)
+}
+
+// WritePrometheus serializes every live metric as Prometheus text format
+// v0.0.4: enum counters as `iterskew_<name>_total`, gauges as
+// `iterskew_<name>`, the per-span-kind duration histograms as one
+// `iterskew_span_duration_seconds{kind=...}` family (log2-µs bucket edges,
+// converted to seconds), then every registered labeled family in
+// registration order with its series sorted. Safe for concurrent use with
+// writers; per-series fields are individually consistent, as usual for
+// scrape-based monitoring. A nil Recorder writes nothing.
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+
+	for c := Counter(0); c < numCounters; c++ {
+		name := metricPrefix + counterNames[c] + "_total"
+		header(bw, name, "Cumulative count of "+counterNames[c]+" (see internal/obs).", "counter")
+		fmt.Fprintf(bw, "%s %d\n", name, r.Counter(c))
+	}
+	for g := Gauge(0); g < numGauges; g++ {
+		name := metricPrefix + gaugeNames[g]
+		header(bw, name, "Last value of "+gaugeNames[g]+" (see internal/obs).", "gauge")
+		fmt.Fprintf(bw, "%s %d\n", name, r.Gauge(g))
+	}
+
+	// Span-kind duration histograms: bucket i of the log2 histogram holds
+	// observations with upper edge 2^i µs (bucket 0: 1 µs), so the
+	// cumulative `le` edges are 2^i µs expressed in seconds. Kinds with no
+	// observations are omitted — absent series are idiomatic in Prometheus.
+	spanFam := metricPrefix + "span_duration_seconds"
+	wroteSpanHeader := false
+	for k := SpanKind(0); k < numSpanKinds; k++ {
+		s := r.hists[k].Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		if !wroteSpanHeader {
+			header(bw, spanFam, "Duration of enum-keyed instrumentation spans by kind.", "histogram")
+			wroteSpanHeader = true
+		}
+		kind := spanNames[k]
+		var cum int64
+		for i, c := range s.Bucket {
+			cum += c
+			le := float64(uint64(1)<<uint(i)) / 1e6 // top edge of bucket i, µs → s
+			fmt.Fprintf(bw, "%s_bucket{kind=%q,le=%q} %d\n", spanFam, kind, formatFloat(le), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{kind=%q,le=\"+Inf\"} %d\n", spanFam, kind, s.Count)
+		fmt.Fprintf(bw, "%s_sum{kind=%q} %s\n", spanFam, kind, formatFloat(float64(s.SumNs)/1e9))
+		fmt.Fprintf(bw, "%s_count{kind=%q} %d\n", spanFam, kind, s.Count)
+	}
+
+	r.mu.Lock()
+	fams := make([]any, len(r.labeled))
+	copy(fams, r.labeled)
+	r.mu.Unlock()
+	for _, fam := range fams {
+		switch f := fam.(type) {
+		case *LabeledCtr:
+			writeCtrFamily(bw, f)
+		case *BucketHist:
+			writeHistFamily(bw, f)
+		}
+	}
+	return bw.Flush()
+}
+
+func header(bw *bufio.Writer, name, help, typ string) {
+	fmt.Fprintf(bw, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ)
+}
+
+func writeCtrFamily(bw *bufio.Writer, c *LabeledCtr) {
+	name := metricPrefix + c.name
+	header(bw, name, c.help, "counter")
+	for _, s := range sortedSeries(&c.series) {
+		cs := s.(*ctrSeries)
+		fmt.Fprintf(bw, "%s%s %d\n", name, labelSet(c.labels, cs.vals, "", ""), atomic.LoadInt64(&cs.v))
+	}
+}
+
+func writeHistFamily(bw *bufio.Writer, h *BucketHist) {
+	name := metricPrefix + h.name
+	header(bw, name, h.help, "histogram")
+	for _, s := range sortedSeries(&h.series) {
+		hs := s.(*histSeries)
+		var cum int64
+		for i, b := range h.bounds {
+			cum += atomic.LoadInt64(&hs.counts[i])
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", name, labelSet(h.labels, hs.vals, "le", formatFloat(b)), cum)
+		}
+		count := atomic.LoadInt64(&hs.count)
+		fmt.Fprintf(bw, "%s_bucket%s %d\n", name, labelSet(h.labels, hs.vals, "le", "+Inf"), count)
+		sum := math.Float64frombits(atomic.LoadUint64(&hs.sumBits))
+		fmt.Fprintf(bw, "%s_sum%s %s\n", name, labelSet(h.labels, hs.vals, "", ""), formatFloat(sum))
+		fmt.Fprintf(bw, "%s_count%s %d\n", name, labelSet(h.labels, hs.vals, "", ""), count)
+	}
+}
+
+// sortedSeries snapshots a sync.Map's values ordered by key, so exposition
+// output is deterministic given the data.
+func sortedSeries(m *sync.Map) []any {
+	type kv struct {
+		k string
+		v any
+	}
+	var all []kv
+	m.Range(func(k, v any) bool {
+		all = append(all, kv{k.(string), v})
+		return true
+	})
+	sort.Slice(all, func(i, j int) bool { return all[i].k < all[j].k })
+	out := make([]any, len(all))
+	for i := range all {
+		out[i] = all[i].v
+	}
+	return out
+}
+
+// labelSet renders `{a="x",b="y"}` (empty string for no labels), with an
+// optional extra trailing label (the histogram `le`).
+func labelSet(names, vals []string, extraName, extraVal string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		v := ""
+		if i < len(vals) {
+			v = vals[i]
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(v))
+		sb.WriteString(`"`)
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraName)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(extraVal))
+		sb.WriteString(`"`)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+
+// formatFloat renders a sample value or bucket edge the Prometheus way:
+// shortest float64 round-trip, +Inf spelled literally.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// MetricsHandler serves the recorder's WritePrometheus output with the
+// text-format v0.0.4 content type — mount it at GET /metrics. Works (serving
+// an empty body) on a nil Recorder.
+func MetricsHandler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// sampleLine matches one exposition sample: name, optional label set, value.
+var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(\s+-?\d+)?$`)
+
+// ParseExposition validates a Prometheus text-format payload and returns
+// its samples as a flat map keyed by `name{labels}` (labels exactly as
+// serialized, sorted as emitted). It checks structural well-formedness:
+// every sample line parses, every sample's family carries a # TYPE line,
+// values parse as floats, histogram series have non-decreasing cumulative
+// buckets, and each histogram's +Inf bucket equals its _count. It is the
+// shared validator for cssbench's /metrics scrape assertions and the obs
+// tests; it is NOT a full openmetrics parser.
+func ParseExposition(data []byte) (map[string]float64, error) {
+	samples := map[string]float64{}
+	types := map[string]string{}
+	lineNo := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		lineNo++
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 3 && f[1] == "TYPE" {
+				types[f[2]] = f[3]
+			} else if len(f) >= 2 && (f[1] == "HELP" || f[1] == "TYPE") {
+				// HELP with free text, fine.
+			} else {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			return nil, fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		name, labels, valStr := m[1], m[2], m[3]
+		var v float64
+		switch valStr {
+		case "+Inf":
+			v = math.Inf(1)
+		case "-Inf":
+			v = math.Inf(-1)
+		case "NaN":
+			v = math.NaN()
+		default:
+			var err error
+			if v, err = strconv.ParseFloat(valStr, 64); err != nil {
+				return nil, fmt.Errorf("line %d: bad value %q: %v", lineNo, valStr, err)
+			}
+		}
+		fam := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && types[base] == "histogram" {
+				fam = base
+				break
+			}
+		}
+		if _, ok := types[fam]; !ok {
+			return nil, fmt.Errorf("line %d: sample %s has no # TYPE", lineNo, name)
+		}
+		key := name + labels
+		if _, dup := samples[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate sample %s", lineNo, key)
+		}
+		samples[key] = v
+	}
+	if err := checkHistograms(samples, types); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// checkHistograms asserts per-series bucket monotonicity and that the +Inf
+// bucket agrees with _count.
+func checkHistograms(samples map[string]float64, types map[string]string) error {
+	// Group bucket samples by family+non-le labels.
+	type bkt struct {
+		le float64
+		v  float64
+	}
+	buckets := map[string][]bkt{}
+	for key, v := range samples {
+		name, labels, ok := splitSample(key)
+		if !ok || !strings.HasSuffix(name, "_bucket") {
+			continue
+		}
+		fam := strings.TrimSuffix(name, "_bucket")
+		if types[fam] != "histogram" {
+			continue
+		}
+		le, rest, err := extractLE(labels)
+		if err != nil {
+			return fmt.Errorf("%s: %v", key, err)
+		}
+		buckets[fam+rest] = append(buckets[fam+rest], bkt{le, v})
+	}
+	for series, bs := range buckets {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		prev := math.Inf(-1)
+		prevV := 0.0
+		for _, b := range bs {
+			if b.le == prev {
+				return fmt.Errorf("%s: duplicate le bucket %v", series, b.le)
+			}
+			if b.v < prevV {
+				return fmt.Errorf("%s: bucket le=%v count %v < previous %v (not cumulative)", series, b.le, b.v, prevV)
+			}
+			prev, prevV = b.le, b.v
+		}
+		if len(bs) == 0 || !math.IsInf(bs[len(bs)-1].le, 1) {
+			return fmt.Errorf("%s: histogram series missing +Inf bucket", series)
+		}
+		name, rest, _ := strings.Cut(series, "{")
+		countKey := name + "_count"
+		if rest != "" {
+			countKey += "{" + rest
+		}
+		if cnt, ok := samples[countKey]; ok && cnt != bs[len(bs)-1].v {
+			return fmt.Errorf("%s: +Inf bucket %v != _count %v", series, bs[len(bs)-1].v, cnt)
+		}
+	}
+	return nil
+}
+
+func splitSample(key string) (name, labels string, ok bool) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], key[i:], true
+	}
+	return key, "", true
+}
+
+// extractLE pulls the le label out of a serialized label set, returning its
+// value and the label set with le removed (the series identity).
+func extractLE(labels string) (float64, string, error) {
+	if labels == "" {
+		return 0, "", fmt.Errorf("bucket sample has no labels (missing le)")
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	parts := splitLabels(inner)
+	le := math.NaN()
+	var rest []string
+	for _, p := range parts {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok {
+			return 0, "", fmt.Errorf("malformed label %q", p)
+		}
+		v = strings.Trim(v, `"`)
+		if k == "le" {
+			switch v {
+			case "+Inf":
+				le = math.Inf(1)
+			default:
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return 0, "", fmt.Errorf("bad le %q", v)
+				}
+				le = f
+			}
+			continue
+		}
+		rest = append(rest, p)
+	}
+	if math.IsNaN(le) {
+		return 0, "", fmt.Errorf("bucket sample missing le label")
+	}
+	if len(rest) == 0 {
+		return le, "", nil
+	}
+	return le, "{" + strings.Join(rest, ",") + "}", nil
+}
+
+// splitLabels splits a serialized label-set body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -50,9 +50,22 @@ func (k SpanKind) String() string { return spanNames[k] }
 type Span struct {
 	r     *Recorder
 	name  string // overrides spanNames[kind] when non-empty (NamedSpan)
+	req   string // request ID rendered into the trace args (WithReq)
 	kind  SpanKind
 	tid   int32
 	start time.Time
+}
+
+// WithReq tags the span with a request ID: the serialized trace event gains
+// a "req" arg, correlating it with the JSONL events, access-log line, and
+// error body of the same service request. An empty id (or the inert zero
+// Span) is a no-op, so call sites can pass the context-derived ID through
+// unconditionally.
+func (s Span) WithReq(id string) Span {
+	if s.r != nil {
+		s.req = id
+	}
+	return s
 }
 
 // StartSpan opens an enum-keyed span on the main track (tid 0). On a nil
@@ -109,6 +122,7 @@ func (s Span) end(nargs int, n1 string, v1 int64, n2 string, v2 int64) {
 	}
 	ev := traceEvent{
 		name: name,
+		req:  s.req,
 		tid:  s.tid,
 		ts:   s.start,
 		dur:  d,
@@ -122,6 +136,20 @@ func (s Span) end(nargs int, n1 string, v1 int64, n2 string, v2 int64) {
 	tr.add(ev)
 }
 
+// AdoptTracer points this recorder's span buffer at parent's, so spans
+// recorded through it land in the parent's Chrome trace. The per-request
+// recorder of a streamed service job adopts the daemon recorder's tracer:
+// the request's JSONL events flow to the client while its spans stay in the
+// daemon-wide trace, request-tagged. No-op when either side is nil or the
+// parent has tracing disabled.
+func (r *Recorder) AdoptTracer(parent *Recorder) *Recorder {
+	if r == nil || parent == nil || parent.tracer == nil {
+		return r
+	}
+	r.tracer = parent.tracer
+	return r
+}
+
 // Instant records a zero-duration marker event (trace only).
 func (r *Recorder) Instant(name string, argName string, arg int64) {
 	if r == nil || r.tracer == nil {
@@ -133,6 +161,7 @@ func (r *Recorder) Instant(name string, argName string, arg int64) {
 // traceEvent is one buffered span or instant, pre-serialization.
 type traceEvent struct {
 	name           string
+	req            string // request ID ("" = not request-scoped)
 	tid            int32
 	ts             time.Time
 	dur            time.Duration
@@ -228,13 +257,16 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 			te.Ph = "i"
 			te.Dur = 0
 		}
-		if ev.a1Name != "" || ev.a2Name != "" {
+		if ev.a1Name != "" || ev.a2Name != "" || ev.req != "" {
 			te.Args = map[string]any{}
 			if ev.a1Name != "" {
 				te.Args[ev.a1Name] = ev.a1
 			}
 			if ev.a2Name != "" {
 				te.Args[ev.a2Name] = ev.a2
+			}
+			if ev.req != "" {
+				te.Args["req"] = ev.req
 			}
 		}
 		out.TraceEvents = append(out.TraceEvents, te)

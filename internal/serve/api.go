@@ -123,23 +123,35 @@ func (r *JobResponse) TargetCells() (map[netlist.CellID]float64, error) {
 
 // StatsResponse is a point-in-time snapshot of the daemon.
 type StatsResponse struct {
-	Graphs          int   `json:"graphs"`
-	GraphBytes      int64 `json:"graph_bytes"`
-	InFlight        int   `json:"in_flight"`
-	MaxInFlight     int   `json:"max_in_flight"`
-	Draining        bool  `json:"draining"`
-	StatesCreated   int   `json:"states_created"`
-	StatesDiscarded int   `json:"states_discarded"`
-	Uploads         int64 `json:"uploads"`
-	Jobs            int64 `json:"jobs"`
-	Rejected        int64 `json:"rejected_429"`
-	Cancelled       int64 `json:"jobs_cancelled"`
-	Streams         int64 `json:"jobs_streamed"`
+	Version         string `json:"version"`
+	Graphs          int    `json:"graphs"`
+	GraphBytes      int64  `json:"graph_bytes"`
+	InFlight        int    `json:"in_flight"`
+	MaxInFlight     int    `json:"max_in_flight"`
+	Draining        bool   `json:"draining"`
+	StatesCreated   int    `json:"states_created"`
+	StatesDiscarded int    `json:"states_discarded"`
+	Uploads         int64  `json:"uploads"`
+	Jobs            int64  `json:"jobs"`
+	Rejected        int64  `json:"rejected_429"`
+	Cancelled       int64  `json:"jobs_cancelled"`
+	Streams         int64  `json:"jobs_streamed"`
 }
 
-// ErrorResponse is the body of every non-2xx answer.
+// ErrorResponse is the body of every non-2xx answer. RequestID echoes the
+// X-Request-Id response header so a failed request is greppable in the
+// access log and trace from its body alone.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// VersionResponse is the body of GET /v1/version: the daemon's build
+// identity from the embedded runtime/debug.BuildInfo.
+type VersionResponse struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version,omitempty"`
+	Module    string `json:"module"`
 }
 
 // parseHandle decodes a graph handle: 64 hex characters of sha256.

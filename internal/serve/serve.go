@@ -71,10 +71,14 @@ type Config struct {
 	// unbounded iteration. 0 leaves the schedulers' own default cap.
 	MaxJobRounds int
 	// Recorder instruments the daemon (serve_* counters, cache
-	// hit/miss/evict, in-flight gauge); expose it through obs.DebugServer to
-	// get the ops sidecar. nil means a private recorder — /v1/stats always
-	// works either way.
+	// hit/miss/evict, in-flight gauge, and the labeled Prometheus families
+	// behind GET /metrics); expose it through obs.DebugServer to get the ops
+	// sidecar. nil means a private recorder — /v1/stats and /metrics always
+	// work either way.
 	Recorder *obs.Recorder
+	// AccessLog, when non-nil, receives one structured JSONL line per
+	// request (see AccessRecord). Writes are serialized; any io.Writer works.
+	AccessLog io.Writer
 	// Schedulers adds (or overrides) scheduler names beyond the built-in
 	// "core", "iccss" and "fpm" — the robustness tests inject controllable
 	// schedulers through it.
@@ -92,6 +96,10 @@ type Server struct {
 	scheds      map[string]sched.Scheduler
 	slots       chan struct{}
 	mux         *http.ServeMux
+	metrics     metrics
+	access      *accessLogger
+	version     string
+	goVersion   string
 
 	mu      sync.Mutex
 	engines map[graphio.Hash]*engine.Engine
@@ -132,13 +140,18 @@ func New(cfg Config) *Server {
 		s.scheds[name] = sc
 	}
 	s.cache.SetOnEvict(s.dropEngine)
+	s.metrics = newMetrics(rec)
+	s.access = newAccessLogger(cfg.AccessLog)
+	s.version, s.goVersion = buildVersion()
 
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/graphs", s.handleUpload)
-	s.mux.HandleFunc("GET /v1/graphs/{handle}", s.handleGraphInfo)
-	s.mux.HandleFunc("POST /v1/graphs/{handle}/jobs", s.handleJob)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/graphs", s.instrument("upload", s.handleUpload))
+	s.mux.HandleFunc("GET /v1/graphs/{handle}", s.instrument("graph_info", s.handleGraphInfo))
+	s.mux.HandleFunc("POST /v1/graphs/{handle}/jobs", s.instrument("jobs", s.handleJob))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("GET /v1/healthz", s.instrument("healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /v1/version", s.instrument("version", s.handleVersion))
+	s.mux.Handle("GET /metrics", s.instrument("metrics", obs.MetricsHandler(rec).ServeHTTP))
 	return s
 }
 
@@ -193,10 +206,13 @@ func (s *Server) engineFor(key graphio.Hash, g *timing.Graph) *engine.Engine {
 
 // admit gates one unit of heavy work: refused outright while draining,
 // refused with 429 + Retry-After when every slot is busy. On success the
-// caller must invoke the returned release exactly once.
-func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+// caller must invoke the returned release exactly once. The time spent here
+// is recorded as the request's queue wait.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	t0 := time.Now()
+	defer func() { infoFrom(r).queue = time.Since(t0) }()
 	if s.draining.Load() {
-		writeErr(w, http.StatusServiceUnavailable, "draining: not accepting new work")
+		writeErr(w, r, http.StatusServiceUnavailable, "draining: not accepting new work")
 		return nil, false
 	}
 	s.inflight.Add(1)
@@ -204,7 +220,7 @@ func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
 		// Drain began between the check and the Add; refuse so Drain's Wait
 		// is never extended by late arrivals.
 		s.inflight.Done()
-		writeErr(w, http.StatusServiceUnavailable, "draining: not accepting new work")
+		writeErr(w, r, http.StatusServiceUnavailable, "draining: not accepting new work")
 		return nil, false
 	}
 	select {
@@ -213,7 +229,7 @@ func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
 		s.inflight.Done()
 		s.rec.Add(obs.CtrServeRejected, 1)
 		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusTooManyRequests, "saturated: all session slots busy")
+		writeErr(w, r, http.StatusTooManyRequests, "saturated: all session slots busy")
 		return nil, false
 	}
 	s.rec.SetGauge(obs.GaugeServeInFlight, int64(len(s.slots)))
@@ -228,7 +244,7 @@ func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
 // graph is resident — hashing the netlist exactly once; a re-upload of known
 // content is a pure cache hit.
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
-	release, ok := s.admit(w)
+	release, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
@@ -236,22 +252,22 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 
 	d, err := netio.Read(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "netlist: "+err.Error())
+		writeErr(w, r, http.StatusBadRequest, "netlist: "+err.Error())
 		return
 	}
 	if err := sched.ValidateInput(d); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeErr(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	m := delay.Default()
 	key, err := graphio.HashOf(d, m)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeErr(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	g, hit, err := s.cache.GetHashed(key, d, m)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "compile: "+err.Error())
+		writeErr(w, r, http.StatusBadRequest, "compile: "+err.Error())
 		return
 	}
 	s.engineFor(key, g)
@@ -271,12 +287,12 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
 	key, err := parseHandle(r.PathValue("handle"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeErr(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	g, ok := s.cache.Lookup(key)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown graph handle (not uploaded, or evicted)")
+		writeErr(w, r, http.StatusNotFound, "unknown graph handle (not uploaded, or evicted)")
 		return
 	}
 	st := g.Design().Stats()
@@ -294,14 +310,14 @@ func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	key, err := parseHandle(r.PathValue("handle"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeErr(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeErr(w, http.StatusBadRequest, "job spec: "+err.Error())
+		writeErr(w, r, http.StatusBadRequest, "job spec: "+err.Error())
 		return
 	}
 	name := spec.Scheduler
@@ -310,16 +326,19 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	scheduler, ok := s.scheds[name]
 	if !ok {
-		writeErr(w, http.StatusBadRequest, "unknown scheduler "+name)
+		writeErr(w, r, http.StatusBadRequest, "unknown scheduler "+name)
 		return
 	}
 	mode, err := parseMode(spec.Mode)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeErr(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 
-	release, ok := s.admit(w)
+	info := infoFrom(r)
+	info.handle, info.scheduler = key.String(), name
+
+	release, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
@@ -327,13 +346,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 	g, ok := s.cache.Lookup(key)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown graph handle (not uploaded, or evicted)")
+		writeErr(w, r, http.StatusNotFound, "unknown graph handle (not uploaded, or evicted)")
 		return
 	}
 	eng := s.engineFor(key, g)
 
 	opts := spec.options(mode, s.cfg.MaxJobRounds)
-	opts.Context = r.Context() // client disconnect cancels the job
+	opts.Context = r.Context() // client disconnect cancels the job; carries the request ID
 	job := engine.Job{
 		Scheduler:   scheduler,
 		Options:     opts,
@@ -357,9 +376,18 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		stream = newFlushWriter(w)
 		rec := obs.NewRecorder()
 		rec.EnableEvents(stream)
+		// Events stream to this client stamped with the request ID; spans
+		// land request-tagged in the daemon-wide trace.
+		rec.SetReq(info.id)
+		rec.AdoptTracer(s.rec)
 		rec.Emit(obs.Event{Type: "run", Method: name, Design: key.String()})
 		job.Options.Recorder = rec
 		s.rec.Add(obs.CtrServeStreams, 1)
+	} else {
+		// Non-streamed jobs instrument the daemon recorder: scheduler rounds,
+		// timer spans, and span histograms aggregate daemon-wide (request-
+		// tagged via the job context).
+		job.Options.Recorder = s.rec
 	}
 
 	var qor eval.Metrics
@@ -372,14 +400,16 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &deg) {
 			code = http.StatusBadRequest
 		}
+		info.stop = "error"
 		if stream != nil {
 			_ = json.NewEncoder(stream).Encode(struct {
 				Type  string `json:"type"`
+				Req   string `json:"req,omitempty"`
 				Error string `json:"error"`
-			}{"error", err.Error()})
+			}{"error", info.id, err.Error()})
 			return
 		}
-		writeErr(w, code, err.Error())
+		writeErr(w, r, code, err.Error())
 		return
 	}
 
@@ -387,6 +417,20 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	if res.StopReason == sched.StopCancelled {
 		s.rec.Add(obs.CtrServeCancelled, 1)
 	}
+	info.stop = res.StopReason.String()
+	s.metrics.jobOutcomes.Add(1, name, info.stop)
+	s.metrics.jobSeconds.Observe(res.Elapsed.Seconds(), name)
+	s.metrics.jobRounds.Observe(float64(res.Rounds), name)
+	qorEv := obs.Event{
+		Type: "qor", Req: info.id, Method: name, Design: key.String(),
+		Mode: mode.String(), Round: res.Rounds, NewEdges: res.EdgesExtracted,
+		WNS: qor.WNSLate, TNS: qor.TNSLate,
+		ElapsedMS: float64(res.Elapsed.Nanoseconds()) / 1e6,
+	}
+	if job.Options.Recorder != s.rec {
+		job.Options.Recorder.Emit(qorEv)
+	}
+	s.rec.Emit(qorEv)
 
 	out := JobResponse{
 		Type:           "result",
@@ -422,6 +466,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, StatsResponse{
+		Version:         s.version,
 		Graphs:          cs.Graphs,
 		GraphBytes:      cs.Bytes,
 		InFlight:        len(s.slots),
@@ -462,8 +507,8 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, ErrorResponse{Error: msg})
+func writeErr(w http.ResponseWriter, r *http.Request, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg, RequestID: infoFrom(r).id})
 }
 
 // flushWriter pushes every write through to the client immediately — the

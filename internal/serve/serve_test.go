@@ -402,7 +402,7 @@ func TestStreamingJob(t *testing.T) {
 		t.Fatalf("stream content type = %q, want ndjson", ct)
 	}
 
-	var runs, rounds int
+	var runs, rounds, qors int
 	var got serve.JobResponse
 	gotFinal := false
 	sc := bufio.NewScanner(resp.Body)
@@ -423,6 +423,8 @@ func TestStreamingJob(t *testing.T) {
 			runs++
 		case "round":
 			rounds++
+		case "qor":
+			qors++
 		case "result":
 			if err := json.Unmarshal(line, &got); err != nil {
 				t.Fatal(err)
@@ -435,8 +437,9 @@ func TestStreamingJob(t *testing.T) {
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
-	if runs != 1 || rounds < 1 || !gotFinal {
-		t.Fatalf("stream shape: %d run lines, %d round lines, final=%v", runs, rounds, gotFinal)
+	if runs != 1 || rounds < 1 || qors != 1 || !gotFinal {
+		t.Fatalf("stream shape: %d run lines, %d round lines, %d qor lines, final=%v",
+			runs, rounds, qors, gotFinal)
 	}
 	if rounds != got.Rounds {
 		t.Fatalf("streamed %d round events but result reports %d rounds", rounds, got.Rounds)
@@ -489,7 +492,10 @@ func TestGoldenResponses(t *testing.T) {
 	if code != http.StatusBadRequest {
 		t.Fatalf("bad scheduler: HTTP %d", code)
 	}
-	checkGolden(t, "error.json", normalizeJSON(t, errRaw, nil))
+	checkGolden(t, "error.json", normalizeJSON(t, errRaw, func(m map[string]any) {
+		// The request ID is random per request; pin it for the fixture.
+		m["request_id"] = "REQUEST_ID"
+	}))
 }
 
 // normalizeJSON round-trips a response body through a map (applying fix, for
@@ -546,4 +552,3 @@ func TestMaxJobRoundsClamp(t *testing.T) {
 		t.Fatalf("rounds = %d, clamp of 1 did not hold", jr.Rounds)
 	}
 }
-

@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"time"
+
+	"iterskew/internal/obs"
+)
+
+// Request-scoped telemetry: every request through the mux is wrapped by
+// instrument(), which
+//
+//   - assigns the request ID (accepted from X-Request-Id when well-formed,
+//     generated otherwise), echoes it in the X-Request-Id response header,
+//     and threads it through the request context so engine jobs, scheduler
+//     rounds, and timer spans all carry the same ID;
+//   - counts the request into the labeled Prometheus families
+//     (iterskew_http_requests_total{route,method,code} and the
+//     iterskew_http_request_seconds{route} latency histogram);
+//   - emits one structured JSONL access-log line to Config.AccessLog.
+//
+// Handlers report per-request detail (graph handle, scheduler, stop reason,
+// queue wait) back to the middleware through the *reqInfo carried in the
+// context.
+
+// latencyBounds bucket HTTP and job wall time in seconds: sub-millisecond
+// cache hits through ten-second scheduling runs.
+var latencyBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// roundsBounds bucket the per-job round count.
+var roundsBounds = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500}
+
+// metrics is the server's labeled metric surface, registered on the daemon
+// recorder at construction so /metrics always exposes every family (with no
+// series until traffic arrives).
+type metrics struct {
+	httpRequests *obs.LabeledCtr // {route, method, code}
+	httpSeconds  *obs.BucketHist // {route}
+	jobOutcomes  *obs.LabeledCtr // {scheduler, stop_reason}
+	jobSeconds   *obs.BucketHist // {scheduler}
+	jobRounds    *obs.BucketHist // {scheduler}
+}
+
+func newMetrics(rec *obs.Recorder) metrics {
+	return metrics{
+		httpRequests: rec.LabeledCounter("http_requests_total",
+			"HTTP requests served, by mux route, method, and status code.",
+			"route", "method", "code"),
+		httpSeconds: rec.BucketHistogram("http_request_seconds",
+			"HTTP request wall time in seconds, by mux route.",
+			latencyBounds, "route"),
+		jobOutcomes: rec.LabeledCounter("serve_job_outcomes_total",
+			"Finished scheduling jobs, by scheduler and stop reason.",
+			"scheduler", "stop_reason"),
+		jobSeconds: rec.BucketHistogram("serve_job_seconds",
+			"Scheduling job wall time in seconds, by scheduler.",
+			latencyBounds, "scheduler"),
+		jobRounds: rec.BucketHistogram("serve_job_rounds",
+			"Update-extract rounds per finished job, by scheduler.",
+			roundsBounds, "scheduler"),
+	}
+}
+
+// reqInfo is the per-request telemetry scratchpad shared between the
+// middleware and the handler through the request context.
+type reqInfo struct {
+	id        string
+	handle    string
+	scheduler string
+	stop      string
+	queue     time.Duration
+}
+
+type reqInfoKey struct{}
+
+// infoFrom returns the request's telemetry scratchpad. Requests that bypass
+// instrument (direct handler tests) get a throwaway, so handlers never nil
+// check.
+func infoFrom(r *http.Request) *reqInfo {
+	if ri, ok := r.Context().Value(reqInfoKey{}).(*reqInfo); ok {
+		return ri
+	}
+	return &reqInfo{}
+}
+
+// sanitizeReqID accepts a client-supplied request ID only when it is short
+// and printable-token-shaped; anything else is discarded (the caller
+// generates a fresh ID) so logs and headers stay injection-free.
+func sanitizeReqID(s string) string {
+	if len(s) == 0 || len(s) > 64 {
+		return ""
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return ""
+		}
+	}
+	return s
+}
+
+// countingWriter observes the status code and body bytes of one response,
+// forwarding Flush so streamed JSONL replies stay unbuffered.
+type countingWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+	wrote bool
+}
+
+func (cw *countingWriter) WriteHeader(code int) {
+	if !cw.wrote {
+		cw.code = code
+		cw.wrote = true
+	}
+	cw.ResponseWriter.WriteHeader(code)
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	cw.wrote = true
+	n, err := cw.ResponseWriter.Write(p)
+	cw.bytes += int64(n)
+	return n, err
+}
+
+func (cw *countingWriter) Flush() {
+	if f, ok := cw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessRecord is one structured access-log line. Times are RFC 3339 UTC;
+// durations are milliseconds. Req matches the X-Request-Id response header,
+// the job's JSONL events, and its trace spans.
+type AccessRecord struct {
+	Time      string  `json:"time"`
+	Req       string  `json:"req"`
+	Method    string  `json:"method"`
+	Route     string  `json:"route"`
+	Status    int     `json:"status"`
+	Bytes     int64   `json:"bytes"`
+	WallMS    float64 `json:"wall_ms"`
+	QueueMS   float64 `json:"queue_ms,omitempty"`
+	Handle    string  `json:"handle,omitempty"`
+	Scheduler string  `json:"scheduler,omitempty"`
+	Stop      string  `json:"stop_reason,omitempty"`
+}
+
+// accessLogger serializes AccessRecords as JSONL; writes are mutex-guarded so
+// concurrent requests never interleave mid-line.
+type accessLogger struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func newAccessLogger(w io.Writer) *accessLogger {
+	if w == nil {
+		return nil
+	}
+	return &accessLogger{enc: json.NewEncoder(w)}
+}
+
+func (l *accessLogger) log(rec AccessRecord) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	_ = l.enc.Encode(rec)
+	l.mu.Unlock()
+}
+
+// instrument wraps one route's handler with the full request-telemetry stack:
+// request-ID assignment and echo, context threading, route metrics, and the
+// access-log line.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := sanitizeReqID(r.Header.Get("X-Request-Id"))
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		info := &reqInfo{id: id}
+		ctx := obs.WithRequestID(r.Context(), id)
+		ctx = context.WithValue(ctx, reqInfoKey{}, info)
+		r = r.WithContext(ctx)
+		w.Header().Set("X-Request-Id", id)
+
+		cw := &countingWriter{ResponseWriter: w, code: http.StatusOK}
+		h(cw, r)
+
+		wall := time.Since(start)
+		s.metrics.httpRequests.Add(1, route, r.Method, strconv.Itoa(cw.code))
+		s.metrics.httpSeconds.Observe(wall.Seconds(), route)
+		s.access.log(AccessRecord{
+			Time:      start.UTC().Format(time.RFC3339Nano),
+			Req:       id,
+			Method:    r.Method,
+			Route:     route,
+			Status:    cw.code,
+			Bytes:     cw.bytes,
+			WallMS:    float64(wall.Nanoseconds()) / 1e6,
+			QueueMS:   float64(info.queue.Nanoseconds()) / 1e6,
+			Handle:    info.handle,
+			Scheduler: info.scheduler,
+			Stop:      info.stop,
+		})
+	}
+}
+
+// buildVersion resolves the binary's version from the embedded build info:
+// the module version when built from a tagged release, otherwise
+// "devel+<short-vcs-revision>" (with a -dirty suffix for modified trees).
+func buildVersion() (version, goVersion string) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown", ""
+	}
+	version, goVersion = bi.Main.Version, bi.GoVersion
+	if version != "" && version != "(devel)" {
+		return version, goVersion
+	}
+	var rev, dirty string
+	for _, st := range bi.Settings {
+		switch st.Key {
+		case "vcs.revision":
+			rev = st.Value
+		case "vcs.modified":
+			if st.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return "devel+" + rev + dirty, goVersion
+	}
+	if version == "" {
+		version = "(devel)"
+	}
+	return version, goVersion
+}
+
+// handleVersion answers with the daemon's build identity.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, VersionResponse{
+		Version:   s.version,
+		GoVersion: s.goVersion,
+		Module:    "iterskew",
+	})
+}

@@ -1,0 +1,254 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"iterskew/internal/fuzz"
+	"iterskew/internal/obs"
+	"iterskew/internal/serve"
+)
+
+// TestRequestIDEndToEnd is the trace-correlation acceptance test: one
+// streamed job sent with a client X-Request-Id must carry that same ID on
+// every JSONL event line (run, every round, qor), in the access-log line, in
+// the X-Request-Id response header, and on the request's scheduler and timer
+// spans inside the daemon-wide Chrome trace.
+func TestRequestIDEndToEnd(t *testing.T) {
+	d, err := fuzz.Generate(fuzz.FromSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder().EnableTrace()
+	var accessBuf bytes.Buffer
+	_, ts := newServer(t, serve.Config{Recorder: rec, AccessLog: &accessBuf})
+	up := upload(t, ts, netText(t, d))
+
+	const reqID = "e2e-test-req-42"
+	body, _ := json.Marshal(serve.JobSpec{Scheduler: "core", Stream: true})
+	req, err := http.NewRequest("POST", ts.URL+"/v1/graphs/"+up.Handle+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", reqID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job: HTTP %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != reqID {
+		t.Fatalf("response X-Request-Id = %q, want %q", got, reqID)
+	}
+
+	// Every stream line (run, round, qor — everything but the result, which
+	// is a JobResponse, not an obs.Event) must carry the request ID.
+	var rounds, qors int
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+			Req  string `json:"req"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("stream line %q: %v", line, err)
+		}
+		if probe.Type == "result" {
+			continue
+		}
+		if probe.Req != reqID {
+			t.Fatalf("stream %q line req = %q, want %q", probe.Type, probe.Req, reqID)
+		}
+		switch probe.Type {
+		case "round":
+			rounds++
+		case "qor":
+			qors++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rounds < 1 || qors != 1 {
+		t.Fatalf("stream shape: %d rounds, %d qor", rounds, qors)
+	}
+
+	// The access-log line for the jobs route carries the same ID plus the
+	// job attribution fields.
+	var jobLine *serve.AccessRecord
+	for _, line := range strings.Split(strings.TrimSpace(accessBuf.String()), "\n") {
+		var ar serve.AccessRecord
+		if err := json.Unmarshal([]byte(line), &ar); err != nil {
+			t.Fatalf("access log line %q: %v", line, err)
+		}
+		if ar.Route == "jobs" {
+			jobLine = &ar
+		}
+	}
+	if jobLine == nil {
+		t.Fatalf("no jobs access-log line in:\n%s", accessBuf.String())
+	}
+	if jobLine.Req != reqID {
+		t.Fatalf("access log req = %q, want %q", jobLine.Req, reqID)
+	}
+	if jobLine.Handle != up.Handle || jobLine.Scheduler != "core" ||
+		jobLine.Status != 200 || jobLine.Stop == "" || jobLine.WallMS <= 0 {
+		t.Fatalf("access log attribution wrong: %+v", jobLine)
+	}
+
+	// The daemon-wide trace holds this request's spans, tagged with its ID:
+	// the whole-schedule span, round spans, and the timer's update spans all
+	// correlate through Args["req"].
+	var traceBuf bytes.Buffer
+	if err := rec.WriteTrace(&traceBuf); err != nil {
+		t.Fatal(err)
+	}
+	tf, err := obs.DecodeTrace(&traceBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged := map[string]int{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" && ev.Args["req"] == reqID {
+			tagged[ev.Name]++
+		}
+	}
+	for _, span := range []string{"css.schedule", "css.round", "timer.update"} {
+		if tagged[span] == 0 {
+			t.Fatalf("trace has no %q span tagged req=%q (tagged: %v)", span, reqID, tagged)
+		}
+	}
+}
+
+// TestRequestIDGenerated covers the no-client-header path: the daemon mints
+// an ID, echoes it, and stamps the error body of a failed request with it.
+func TestRequestIDGenerated(t *testing.T) {
+	_, ts := newServer(t, serve.Config{})
+
+	// Malformed handle → 400 with a generated request_id matching the header.
+	resp, err := http.Get(ts.URL + "/v1/graphs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("HTTP %d, want 400", resp.StatusCode)
+	}
+	id := resp.Header.Get("X-Request-Id")
+	if len(id) != 16 {
+		t.Fatalf("generated X-Request-Id = %q, want 16 hex chars", id)
+	}
+	var er serve.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.RequestID != id {
+		t.Fatalf("error body request_id = %q, header %q — must match", er.RequestID, id)
+	}
+
+	// A hostile header (injection shapes, oversized) is discarded, not echoed.
+	for _, bad := range []string{"two words", strings.Repeat("x", 65), `"quoted"`} {
+		req, _ := http.NewRequest("GET", ts.URL+"/v1/healthz", nil)
+		req.Header.Set("X-Request-Id", bad)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Request-Id"); got == bad || len(got) != 16 {
+			t.Fatalf("hostile header %q echoed as %q, want a fresh generated ID", bad, got)
+		}
+	}
+}
+
+// TestMetricsEndpoint checks GET /metrics on the serve mux: valid v0.0.4
+// exposition whose labeled counters reflect the traffic just sent.
+func TestMetricsEndpoint(t *testing.T) {
+	d, err := fuzz.Generate(fuzz.FromSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newServer(t, serve.Config{})
+	up := upload(t, ts, netText(t, d))
+	if code, raw, _ := postJob(t, ts, up.Handle, serve.JobSpec{Scheduler: "iccss"}); code != http.StatusOK {
+		t.Fatalf("job: HTTP %d: %s", code, raw)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseExposition(data)
+	if err != nil {
+		t.Fatalf("/metrics body invalid: %v", err)
+	}
+	checks := map[string]float64{
+		`iterskew_http_requests_total{route="upload",method="POST",code="200"}`: 1,
+		`iterskew_http_requests_total{route="jobs",method="POST",code="200"}`:   1,
+		`iterskew_serve_jobs_total`: 1,
+		`iterskew_serve_job_outcomes_total{scheduler="iccss",stop_reason="converged"}`: 1,
+		`iterskew_serve_job_seconds_count{scheduler="iccss"}`:                          1,
+		`iterskew_serve_job_rounds_count{scheduler="iccss"}`:                           1,
+	}
+	for key, want := range checks {
+		if got := samples[key]; got != want {
+			t.Errorf("%s = %v, want %v", key, got, want)
+		}
+	}
+	if samples[`iterskew_http_request_seconds_count{route="jobs"}`] < 1 {
+		t.Error("jobs route latency histogram has no observations")
+	}
+}
+
+// TestVersionEndpoint checks GET /v1/version and the version field in
+// /v1/stats.
+func TestVersionEndpoint(t *testing.T) {
+	_, ts := newServer(t, serve.Config{})
+	resp, err := http.Get(ts.URL + "/v1/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vr serve.VersionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.Version == "" || vr.Module != "iterskew" {
+		t.Fatalf("version response: %+v", vr)
+	}
+
+	resp2, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var st serve.StatsResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != vr.Version {
+		t.Fatalf("stats version %q != /v1/version %q", st.Version, vr.Version)
+	}
+}

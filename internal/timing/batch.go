@@ -106,7 +106,7 @@ func (t *Timer) runBatch(n, workers int, dst []SeqEdge, trace func(w *extractWor
 		wg.Add(1)
 		go func(w *extractWorker, tid int32) {
 			defer wg.Done()
-			wsp := t.rec.WorkerSpan(obs.SpanExtractWorker, tid)
+			wsp := t.rec.WorkerSpan(obs.SpanExtractWorker, tid).WithReq(t.req)
 			roots := int64(0)
 			for {
 				if t.stopRequested() {
@@ -152,9 +152,9 @@ func (t *Timer) runBatch(n, workers int, dst []SeqEdge, trace func(w *extractWor
 // endpoint order.
 func (t *Timer) ExtractEssentialBatch(endpoints []EndpointID, m Mode, margin float64, workers int, dst []SeqEdge) []SeqEdge {
 	workers = t.batchWorkers(workers, len(endpoints))
-	sp, len0 := t.rec.StartSpan(obs.SpanExtractBatch), len(dst)
+	sp, len0 := t.rec.StartSpan(obs.SpanExtractBatch).WithReq(t.req), len(dst)
 	if workers <= 1 || len(endpoints) < 2 {
-		wsp := t.rec.WorkerSpan(obs.SpanExtractWorker, 0)
+		wsp := t.rec.WorkerSpan(obs.SpanExtractWorker, 0).WithReq(t.req)
 		for _, e := range endpoints {
 			dst = t.extractEssential(&t.trace, &t.Stats, e, m, margin, dst)
 		}
@@ -173,9 +173,9 @@ func (t *Timer) ExtractEssentialBatch(endpoints []EndpointID, m Mode, margin flo
 // with the same worker-pool semantics as ExtractEssentialBatch.
 func (t *Timer) ExtractAllFromBatch(launches []netlist.CellID, m Mode, workers int, dst []SeqEdge) []SeqEdge {
 	workers = t.batchWorkers(workers, len(launches))
-	sp, len0 := t.rec.StartSpan(obs.SpanExtractBatch), len(dst)
+	sp, len0 := t.rec.StartSpan(obs.SpanExtractBatch).WithReq(t.req), len(dst)
 	if workers <= 1 || len(launches) < 2 {
-		wsp := t.rec.WorkerSpan(obs.SpanExtractWorker, 0)
+		wsp := t.rec.WorkerSpan(obs.SpanExtractWorker, 0).WithReq(t.req)
 		for _, c := range launches {
 			dst = t.extractAllFrom(&t.trace, &t.Stats, c, m, dst)
 		}
@@ -194,9 +194,9 @@ func (t *Timer) ExtractAllFromBatch(launches []netlist.CellID, m Mode, workers i
 // with the same worker-pool semantics as ExtractEssentialBatch.
 func (t *Timer) ExtractAllIntoBatch(captures []netlist.CellID, m Mode, workers int, dst []SeqEdge) []SeqEdge {
 	workers = t.batchWorkers(workers, len(captures))
-	sp, len0 := t.rec.StartSpan(obs.SpanExtractBatch), len(dst)
+	sp, len0 := t.rec.StartSpan(obs.SpanExtractBatch).WithReq(t.req), len(dst)
 	if workers <= 1 || len(captures) < 2 {
-		wsp := t.rec.WorkerSpan(obs.SpanExtractWorker, 0)
+		wsp := t.rec.WorkerSpan(obs.SpanExtractWorker, 0).WithReq(t.req)
 		for _, c := range captures {
 			dst = t.extractAllInto(&t.trace, &t.Stats, c, m, dst)
 		}

@@ -132,6 +132,10 @@ type State struct {
 	// Optional instrumentation recorder (nil by default: every hook below
 	// degrades to a nil check, keeping the hot paths allocation-free).
 	rec *obs.Recorder
+	// Request ID stamped onto this state's timer spans (SetReq); the engine
+	// sets it from the job context so a service request's trace spans are
+	// attributable end to end.
+	req string
 
 	Stats Counters
 }
@@ -232,6 +236,15 @@ func (t *Timer) SetRecorder(r *obs.Recorder) {
 
 // Recorder returns the installed instrumentation recorder (nil if none).
 func (t *Timer) Recorder() *obs.Recorder { return t.rec }
+
+// SetReq tags this state's subsequently recorded timer spans (Update,
+// FullUpdate, batch extraction) with a request ID, so a service job's trace
+// is attributable to the request that ran it ("" untags). The engine sets
+// it from the job's context and clears it when the state is recycled.
+func (t *Timer) SetReq(id string) { t.req = id }
+
+// Req returns the request ID the state's spans are tagged with ("" if none).
+func (t *Timer) Req() string { return t.req }
 
 // Latency returns the current effective clock latency of a flip-flop: the
 // physical clock-network arrival plus any predictive CSS latency.
@@ -350,7 +363,7 @@ func (t *Timer) recomputeClock() []netlist.CellID {
 // FullUpdate recomputes the clock network, all net loads, and all arrival
 // and required times from scratch.
 func (t *Timer) FullUpdate() {
-	sp := t.rec.StartSpan(obs.SpanTimerFullUpdate)
+	sp := t.rec.StartSpan(obs.SpanTimerFullUpdate).WithReq(t.req)
 	t.rec.Add(obs.CtrTimerFullUpdates, 1)
 	t.Stats.FullUpdates++
 	for i := range t.netDirty {
@@ -505,7 +518,7 @@ func feq(a, b float64) bool {
 // only the affected cones are re-propagated. It returns the number of pins
 // re-evaluated.
 func (t *Timer) Update() int {
-	sp := t.rec.StartSpan(obs.SpanTimerUpdate)
+	sp := t.rec.StartSpan(obs.SpanTimerUpdate).WithReq(t.req)
 	if t.rec != nil {
 		t.rec.Add(obs.CtrTimerUpdates, 1)
 		t.rec.Add(obs.CtrTimerDirtyFFs, int64(len(t.dirtyFFList)))

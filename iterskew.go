@@ -26,7 +26,9 @@
 package iterskew
 
 import (
+	"context"
 	"io"
+	"net/http"
 
 	"iterskew/internal/bench"
 	"iterskew/internal/core"
@@ -132,8 +134,13 @@ type (
 	// PhaseStat is one row of a Recorder's per-phase wall-time/allocation
 	// accounting.
 	PhaseStat = obs.PhaseStat
-	// DebugServer serves live pprof and expvar endpoints for a Recorder.
+	// DebugServer serves live pprof, expvar, and Prometheus /metrics
+	// endpoints for a Recorder.
 	DebugServer = obs.DebugServer
+	// LabeledCtr is a labeled Prometheus counter vector on a Recorder.
+	LabeledCtr = obs.LabeledCtr
+	// BucketHist is a labeled explicit-bucket Prometheus histogram vector.
+	BucketHist = obs.BucketHist
 	// IterStats is one per-round record of the paper's Alg 1.
 	IterStats = core.IterStats
 )
@@ -316,6 +323,23 @@ func NewRecorder() *Recorder { return obs.NewRecorder() }
 func StartDebugServer(addr string, r *Recorder) (*DebugServer, error) {
 	return obs.StartDebugServer(addr, r)
 }
+
+// MetricsHandler serves a Recorder's metrics as Prometheus text-format
+// v0.0.4 — mount it at GET /metrics on any mux.
+func MetricsHandler(r *Recorder) http.Handler { return obs.MetricsHandler(r) }
+
+// WithRequestID returns a context carrying a request ID; schedulers and the
+// timer stamp it onto their events and trace spans, correlating everything
+// one service request did. An empty id returns ctx unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return obs.WithRequestID(ctx, id)
+}
+
+// RequestID extracts the request ID from a context ("" when absent).
+func RequestID(ctx context.Context) string { return obs.RequestID(ctx) }
+
+// NewRequestID generates a fresh 16-hex-character request ID.
+func NewRequestID() string { return obs.NewRequestID() }
 
 // MinPeriodResult reports a MinPeriod search.
 type MinPeriodResult = core.MinPeriodResult
