@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench fuzz-smoke oracle-check obs-smoke engine-smoke cancel-smoke codec-smoke serve-smoke metrics-smoke
+.PHONY: ci vet build test race bench fuzz-smoke oracle-check obs-smoke engine-smoke cancel-smoke codec-smoke serve-smoke metrics-smoke mcmm-smoke
 
-ci: vet build test race fuzz-smoke obs-smoke engine-smoke cancel-smoke codec-smoke serve-smoke metrics-smoke oracle-check
+ci: vet build test race fuzz-smoke obs-smoke engine-smoke cancel-smoke codec-smoke serve-smoke metrics-smoke mcmm-smoke oracle-check
 
 vet:
 	$(GO) vet ./...
@@ -14,12 +14,15 @@ test:
 	$(GO) test ./...
 
 # The concurrency-bearing packages (worker-pool extraction, parallel
-# incremental propagation, the shared metrics recorder, the
-# compile-once/schedule-many session engine, the context-threading flow, and
-# the zero-copy graph codec whose decoded slabs are shared across sessions)
-# must stay race-clean.
+# incremental propagation, goroutine-per-corner CornerSet updates, the shared
+# metrics recorder, the compile-once/schedule-many session engine, the
+# context-threading flow, and the zero-copy graph codec whose decoded slabs
+# are shared across sessions) must stay race-clean. The second line runs the
+# root-package corner-set equivalence/MCMM tests, which drive the concurrent
+# per-corner propagation through the schedulers end to end.
 race:
 	$(GO) test -race ./internal/timing ./internal/core ./internal/obs ./internal/engine ./internal/flow ./internal/graphio ./internal/serve
+	$(GO) test -race -run 'Corner' .
 
 bench:
 	$(GO) test -bench 'ExtractEssentialBatch|IncrementalUpdate|CSRPropagation' -benchmem .
@@ -131,6 +134,38 @@ serve-smoke:
 	@grep -q 'draining' $(SERVE_TMP)/daemon.log || \
 	    { echo "serve-smoke: daemon log shows no drain"; cat $(SERVE_TMP)/daemon.log; exit 1; }
 	@echo "serve-smoke: upload/schedule byte-identical over HTTP, backpressure fired, drained on SIGTERM"
+
+# MCMM smoke: boot the real iterskewd daemon, post one three-corner job
+# through the wire API, and have cssbench verify the single returned latency
+# assignment against an independent LP-oracle graph per corner (non-negative
+# hold worst slack in every corner, no setup degradation below the
+# unscheduled floor) plus require corner_diff_rounds >= 1 — proof the union
+# extraction path did real multi-corner work. cssbench exits non-zero on any
+# of these, so the target only needs a clean boot/drain around it.
+MCMM_TMP ?= /tmp/iterskew-mcmm-smoke
+mcmm-smoke:
+	rm -rf $(MCMM_TMP) && mkdir -p $(MCMM_TMP)
+	$(GO) build -o $(MCMM_TMP)/iterskewd ./cmd/iterskewd
+	$(GO) build -o $(MCMM_TMP)/cssbench ./cmd/cssbench
+	$(MCMM_TMP)/iterskewd -addr 127.0.0.1:0 -maxinflight 4 -workers 2 \
+	    -addrfile $(MCMM_TMP)/addr > $(MCMM_TMP)/daemon.log 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do test -s $(MCMM_TMP)/addr && break; \
+	    kill -0 $$pid 2>/dev/null || { echo "mcmm-smoke: daemon died"; cat $(MCMM_TMP)/daemon.log; exit 1; }; \
+	    sleep 0.05; done; \
+	addr=$$(cat $(MCMM_TMP)/addr); \
+	$(MCMM_TMP)/cssbench -scale 0.01 -designs superblue18 \
+	    -serveaddr http://$$addr -corners 3 \
+	    -json $(MCMM_TMP)/bench.json > $(MCMM_TMP)/mcmm.txt 2>&1 || \
+	    { echo "mcmm-smoke: corner job failed the per-corner oracle gate"; \
+	      cat $(MCMM_TMP)/mcmm.txt $(MCMM_TMP)/daemon.log; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "mcmm-smoke: daemon did not drain cleanly"; cat $(MCMM_TMP)/daemon.log; exit 1; }
+	@grep -q '"oracle_ok_all_corners": true' $(MCMM_TMP)/bench.json || \
+	    { echo "mcmm-smoke: mcmm block missing oracle verdict"; cat $(MCMM_TMP)/bench.json; exit 1; }
+	@grep -q '"union_diff_rounds": 0' $(MCMM_TMP)/bench.json && \
+	    { echo "mcmm-smoke: corners never diverged"; cat $(MCMM_TMP)/bench.json; exit 1; } || true
+	@echo "mcmm-smoke: one assignment meets all 3 corners per the LP oracle, union path exercised"
 
 # Telemetry smoke: boot iterskewd with an access log, push real traffic
 # through it with the load harness (whose run embeds a two-scrape /metrics

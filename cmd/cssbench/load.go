@@ -221,7 +221,7 @@ func runLoad(addr, designs string, scale float64, clients, jobsPer int, jsonPath
 	for j := range refs {
 		job := refJob(loadSpec(j, d.Period), scheds)
 		j := j
-		job.After = func(tm *timing.Timer, _ *sched.Result) { refs[j].qor = eval.Measure(tm) }
+		job.After = func(tm sched.TimingView, _ *sched.Result) { refs[j].qor = eval.Measure(tm) }
 		res, err := eng.Run(job)
 		if err != nil {
 			return fmt.Errorf("reference job %d: %w", j, err)
@@ -434,13 +434,20 @@ func decodeStream(body []byte, jr *serve.JobResponse) (rounds int, err error) {
 // mergeServiceJSON folds the service block into an existing (or fresh)
 // BENCH_cssbench.json rather than clobbering the table the other modes wrote.
 func mergeServiceJSON(path string, sj *serviceJSON) error {
+	return mergeBench(path, func(out *benchJSON) { out.Service = sj })
+}
+
+// mergeBench loads the existing BENCH JSON (if any), lets set mutate one
+// block, and writes the result back — so the harness modes compose instead
+// of clobbering each other's sections.
+func mergeBench(path string, set func(*benchJSON)) error {
 	var out benchJSON
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &out); err != nil {
 			return fmt.Errorf("%s: existing content: %w", path, err)
 		}
 	}
-	out.Service = sj
+	set(&out)
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -74,6 +74,7 @@ func main() {
 	serveAddr := flag.String("serveaddr", "", "base URL of a live iterskewd daemon for the -load harness (e.g. http://127.0.0.1:8077)")
 	loadN := flag.Int("load", 0, "run the service load harness against -serveaddr with this many concurrent clients, then exit")
 	loadJobs := flag.Int("loadjobs", 8, "jobs per client in the -load harness")
+	cornersN := flag.Int("corners", 0, "run the multi-corner (MCMM) benchmark with this many corners instead of Table I; with -serveaddr, drive a live iterskewd and verify its corner job against the LP oracle")
 	flag.Parse()
 
 	if *checkTrace != "" {
@@ -142,6 +143,14 @@ func main() {
 			os.Exit(1)
 		}
 		if err := runLoad(*serveAddr, *designs, *scale, *loadN, *loadJobs, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *cornersN > 0 {
+		if err := runMCMM(*designs, *scale, *cornersN, *workers, *serveAddr, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -366,6 +375,9 @@ type benchJSON struct {
 	Recompile []recompileJSON `json:"recompile,omitempty"`
 	// Service is the -load harness's measurement of a live iterskewd daemon.
 	Service *serviceJSON `json:"service,omitempty"`
+
+	// MCMM is the -corners multi-corner benchmark/smoke block.
+	MCMM *mcmmJSON `json:"mcmm,omitempty"`
 }
 
 // coldStartJSON is one design's compile-vs-decode measurement.

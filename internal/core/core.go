@@ -109,7 +109,7 @@ func isPortCell(d *netlist.Design, c netlist.CellID) bool {
 // predictive (extra) latencies; callers that only want the schedule can
 // remove them afterwards. Degenerate designs (see ValidateInput) return a
 // *DegenerateInputError with no latencies applied.
-func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
+func Schedule(tm sched.TimingView, opts Options) (*Result, error) {
 	start := time.Now()
 	if err := sched.ValidateTimer(tm); err != nil {
 		return nil, err
@@ -145,7 +145,7 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 			fmt.Fprintf(opts.Log, format+"\n", args...)
 		}
 	}
-	d := tm.D
+	d := tm.Design()
 	g := seqgraph.New()
 	isPort := func(c netlist.CellID) bool { return isPortCell(d, c) }
 
@@ -216,6 +216,7 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 				NewEdges: st.NewEdges, Raised: st.Raised, CycleLen: st.CycleLen,
 				MaxInc: st.MaxInc, TimerPins: st.TimerPins, Stall: stall,
 				ElapsedMS: float64(time.Since(start).Nanoseconds()) / 1e6,
+				Corners:   sched.CornerStats(tm, opts.Mode),
 			})
 		}
 		if opts.Progress != nil {
@@ -450,7 +451,7 @@ func activeCycleEdges(g *seqgraph.Graph, essential func(int32) bool) func(int32)
 // HeadroomFunc builds the per-vertex latency headroom of §III-C1: the
 // timer-refreshed ŝ bound of Eq (11), tightened by the user bound of Eq (5),
 // and zero for frozen vertices and ports.
-func HeadroomFunc(tm *timing.Timer, g *seqgraph.Graph, opts Options, raised map[netlist.CellID]float64) func(seqgraph.VertexID) float64 {
+func HeadroomFunc(tm sched.TimingView, g *seqgraph.Graph, opts Options, raised map[netlist.CellID]float64) func(seqgraph.VertexID) float64 {
 	return func(v seqgraph.VertexID) float64 {
 		if g.Frozen[v] || g.IsPort[v] {
 			return 0

@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"iterskew/internal/core"
+	"iterskew/internal/delay"
+	"iterskew/internal/sched"
+	"iterskew/internal/timing"
+)
+
+// TestJobDerateOverrideSemantics pins the pointer-override contract: nil
+// means "keep the model's derate" while an explicit zero (the old ambiguous
+// sentinel) is now a hard error rather than a silent no-op.
+func TestJobDerateOverrideSemantics(t *testing.T) {
+	d := genDesign(t, 0.004)
+	e, err := New(d, delay.Default(), Config{MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clean, err := e.Run(Job{Options: sched.Options{Mode: timing.Early}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// nil overrides leave the model untouched.
+	nilRun, err := e.Run(Job{Options: sched.Options{Mode: timing.Early}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameTargets(clean.Target, nilRun.Target) {
+		t.Error("nil derate overrides changed the schedule")
+	}
+
+	// Explicit invalid overrides are rejected before any state is taken.
+	for _, bad := range []Job{
+		{DerateEarly: pf(0)},
+		{DerateLate: pf(0)},
+		{DerateEarly: pf(-0.5)},
+		{DerateLate: pf(-1)},
+	} {
+		if _, err := e.Run(bad); err == nil {
+			t.Errorf("Run accepted invalid derate override %+v", bad)
+		}
+	}
+	if n := e.StatesCreated(); n != 1 {
+		t.Errorf("invalid jobs consumed states: created %d, want 1", n)
+	}
+
+	// A valid explicit override takes effect (differs from the clean run on
+	// this profile, which has derate-sensitive hold violations).
+	derated, err := e.Run(Job{Options: sched.Options{Mode: timing.Early}, DerateEarly: pf(0.8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameTargets(clean.Target, derated.Target) {
+		t.Error("an explicit derate override had no effect on the schedule")
+	}
+}
+
+// TestJobCornerValidation: malformed corner lists and illegal combinations
+// with top-level overrides fail fast.
+func TestJobCornerValidation(t *testing.T) {
+	d := genDesign(t, 0.004)
+	e, err := New(d, delay.Default(), Config{MaxInFlight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		job  Job
+		want string
+	}{
+		{"corners plus period", Job{Period: 100, Corners: []Corner{{}}}, "must not also set"},
+		{"corners plus derate", Job{DerateEarly: pf(0.9), Corners: []Corner{{}}}, "must not also set"},
+		{"negative corner period", Job{Corners: []Corner{{Period: -1}}}, "period"},
+		{"bad corner derate", Job{Corners: []Corner{{DerateLate: -2}}}, "derate"},
+		{"duplicate corner names", Job{Corners: []Corner{{Name: "x"}, {Name: "x", Period: 99}}}, "duplicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := e.Run(tc.job)
+			if err == nil {
+				t.Fatalf("Run accepted %+v", tc.job)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if n := e.StatesCreated(); n != 0 {
+		t.Errorf("rejected jobs consumed states: created %d", n)
+	}
+}
+
+// TestEngineCornerJobMatchesDirectCornerSet: an engine multi-corner job on
+// pooled states equals a hand-built CornerSet over a dedicated graph.
+func TestEngineCornerJobMatchesDirectCornerSet(t *testing.T) {
+	d := genDesign(t, 0.004)
+	corners := []Corner{
+		{Name: "typ"},
+		{Name: "fast", DerateEarly: 0.85},
+	}
+
+	g, err := timing.Compile(d, delay.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := timing.NewCornerSet(g, corners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Schedule(cs, sched.Options{Mode: timing.Early})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := New(d, delay.Default(), Config{MaxInFlight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawCorners int
+	got, err := e.Run(Job{
+		Options: sched.Options{Mode: timing.Early},
+		Corners: corners,
+		After: func(tm sched.TimingView, _ *sched.Result) {
+			if cv, ok := tm.(sched.CornerView); ok {
+				sawCorners = cv.NumCorners()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawCorners != len(corners) {
+		t.Fatalf("After saw %d corners, want %d", sawCorners, len(corners))
+	}
+	if !sameTargets(want.Target, got.Target) {
+		t.Error("engine corner job diverges from a direct CornerSet run")
+	}
+	if want.Rounds != got.Rounds || want.EdgesExtracted != got.EdgesExtracted {
+		t.Errorf("rounds/edges %d/%d direct vs %d/%d engine",
+			want.Rounds, want.EdgesExtracted, got.Rounds, got.EdgesExtracted)
+	}
+
+	// The corner states go back to the pool pristine: a plain job afterwards
+	// matches a fresh serial reference.
+	clean := serialReference(t, d, Job{Options: sched.Options{Mode: timing.Late}})
+	after, err := e.Run(Job{Options: sched.Options{Mode: timing.Late}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameTargets(clean.Target, after.Target) {
+		t.Error("corner overrides leaked into recycled states")
+	}
+}

@@ -12,6 +12,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -201,6 +202,10 @@ func runGuarded(s *timing.State, fn func(tm *timing.Timer) error) (err error, pa
 	return fn(s), false
 }
 
+// Corner aliases timing.Corner: one analysis universe (period + derates) of
+// a multi-corner job.
+type Corner = timing.Corner
+
 // Job describes one scheduling session: which scheduler to run, with what
 // options, and optional per-session what-if timing overrides.
 type Job struct {
@@ -213,10 +218,21 @@ type Job struct {
 	// Period, when nonzero, retimes the session to this what-if clock
 	// period instead of the design's.
 	Period float64
-	// DerateEarly / DerateLate, when nonzero, override the respective
-	// delay derate for this session; a zero field keeps the model's value.
-	DerateEarly float64
-	DerateLate  float64
+	// DerateEarly / DerateLate, when non-nil, override the respective delay
+	// derate for this session; nil keeps the model's value. Pointer fields
+	// distinguish "no override" from an explicit value, so an override can
+	// round-trip any derate unambiguously — an explicit zero (or any
+	// non-positive or non-finite value) is rejected with an error instead of
+	// being silently ignored.
+	DerateEarly *float64
+	DerateLate  *float64
+	// Corners, when non-empty, runs the job multi-corner: one pooled state
+	// per corner, joined by a timing.CornerSet, so the scheduler optimizes
+	// the worst-case envelope across every listed period/derate universe.
+	// Period/DerateEarly/DerateLate above must stay unset — corners carry
+	// their own. After (and the streamed round events) then see the
+	// CornerSet view.
+	Corners []Corner
 	// Timeout, when positive, bounds this job's wall clock: Run derives a
 	// context.WithTimeout from Options.Context (or context.Background())
 	// and the scheduler stops cooperatively with a consistent partial
@@ -228,14 +244,50 @@ type Job struct {
 	// state — the only window in which post-schedule QoR (eval.Measure) can
 	// be read, since the state is reset and recycled when Run returns. It
 	// must not retain tm. A panic in After is isolated like any session panic.
-	After func(tm *timing.Timer, res *sched.Result)
+	After func(tm sched.TimingView, res *sched.Result)
 }
 
-// Run executes one job on a pooled session state. Cancellation (via
+// derateOverride validates one pointer derate override against the job's
+// "nil = keep" contract.
+func derateOverride(name string, p *float64, cur float64) (float64, error) {
+	if p == nil {
+		return cur, nil
+	}
+	if v := *p; v > 0 && !math.IsInf(v, 1) {
+		return v, nil
+	}
+	return 0, fmt.Errorf("engine: %s override %v is not a positive finite derate", name, *p)
+}
+
+// validate rejects job field combinations before any slot or state is taken.
+func (job *Job) validate(designPeriod float64) error {
+	if len(job.Corners) == 0 {
+		if _, err := derateOverride("derate_early", job.DerateEarly, 1); err != nil {
+			return err
+		}
+		if _, err := derateOverride("derate_late", job.DerateLate, 1); err != nil {
+			return err
+		}
+		return nil
+	}
+	if job.Period != 0 || job.DerateEarly != nil || job.DerateLate != nil {
+		return fmt.Errorf("engine: a multi-corner job must not also set top-level period/derate overrides")
+	}
+	if err := timing.ValidateCorners(designPeriod, job.Corners); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	return nil
+}
+
+// Run executes one job on a pooled session state (or, with Corners set, on
+// one state per corner joined into a timing.CornerSet). Cancellation (via
 // Options.Context or Timeout) is not an error: the scheduler returns its
 // partial result with Result.StopReason set. A scheduler panic comes back
 // as a *PanicError.
 func (e *Engine) Run(job Job) (*sched.Result, error) {
+	if err := job.validate(e.g.Design().Period); err != nil {
+		return nil, err
+	}
 	ctx := job.Options.Context
 	if job.Timeout > 0 {
 		if ctx == nil {
@@ -246,19 +298,18 @@ func (e *Engine) Run(job Job) (*sched.Result, error) {
 		ctx = tctx
 		job.Options.Context = ctx // job is a value copy; the caller's is untouched
 	}
+	if len(job.Corners) > 0 {
+		return e.runCorners(ctx, job)
+	}
 	var res *sched.Result
 	err := e.SessionContext(ctx, func(tm *timing.Timer) error {
 		if job.Period != 0 {
 			tm.SetPeriod(job.Period)
 		}
-		if job.DerateEarly != 0 || job.DerateLate != 0 {
+		if job.DerateEarly != nil || job.DerateLate != nil {
 			de, dl := tm.Derates()
-			if job.DerateEarly != 0 {
-				de = job.DerateEarly
-			}
-			if job.DerateLate != 0 {
-				dl = job.DerateLate
-			}
+			de, _ = derateOverride("derate_early", job.DerateEarly, de)
+			dl, _ = derateOverride("derate_late", job.DerateLate, dl)
 			tm.SetDerates(de, dl)
 		}
 		if job.Options.Recorder != nil {
@@ -278,6 +329,96 @@ func (e *Engine) Run(job Job) (*sched.Result, error) {
 		}
 		return err
 	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	return res, nil
+}
+
+// runCorners is Run's multi-corner body: one session slot, N pooled states
+// (one per corner, each retimed/derated), joined into a CornerSet the
+// scheduler optimizes as a single view. A panic discards every state of the
+// set — any of them may be half-mutated.
+func (e *Engine) runCorners(ctx context.Context, job Job) (*sched.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case e.slots <- struct{}{}:
+	default:
+		select {
+		case e.slots <- struct{}{}:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("engine: session slot: %w", ctx.Err())
+		}
+	}
+	defer func() { <-e.slots }()
+
+	states := make([]*timing.State, len(job.Corners))
+	names := make([]string, len(job.Corners))
+	var res *sched.Result
+	err, panicked := func() (err error, panicked bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Value: r, Stack: debug.Stack()}
+				panicked = true
+			}
+		}()
+		for i, c := range job.Corners {
+			s := e.acquire()
+			states[i] = s
+			if c.Period != 0 {
+				s.SetPeriod(c.Period)
+			}
+			if c.DerateEarly != 0 || c.DerateLate != 0 {
+				de, dl := s.Derates()
+				if c.DerateEarly != 0 {
+					de = c.DerateEarly
+				}
+				if c.DerateLate != 0 {
+					dl = c.DerateLate
+				}
+				s.SetDerates(de, dl)
+			}
+			names[i] = c.Name
+		}
+		cs, cerr := timing.NewCornerSetFrom(states, names)
+		if cerr != nil {
+			return cerr, false
+		}
+		if job.Options.Recorder != nil {
+			cs.SetRecorder(job.Options.Recorder)
+		}
+		if req := obs.RequestID(job.Options.Context); req != "" {
+			cs.SetReq(req)
+		}
+		s := job.Scheduler
+		if s == nil {
+			s = core.Scheduler
+		}
+		res, err = s.Schedule(cs, job.Options)
+		if err == nil && job.After != nil {
+			job.After(cs, res)
+		}
+		return err, false
+	}()
+	if panicked {
+		n := 0
+		for _, s := range states {
+			if s != nil {
+				n++
+			}
+		}
+		e.mu.Lock()
+		e.discarded += n
+		e.mu.Unlock()
+	} else {
+		for _, s := range states {
+			if s != nil {
+				e.release(s)
+			}
+		}
+	}
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}

@@ -28,6 +28,9 @@ func genDesign(tb testing.TB, scale float64) *netlist.Design {
 	return d
 }
 
+// pf builds a pointer derate override for Job literals.
+func pf(v float64) *float64 { return &v }
+
 func sameTargets(a, b map[netlist.CellID]float64) bool {
 	if len(a) != len(b) {
 		return false
@@ -53,13 +56,13 @@ func serialReference(tb testing.TB, d *netlist.Design, job Job) *sched.Result {
 	if job.Period != 0 {
 		tm.SetPeriod(job.Period)
 	}
-	if job.DerateEarly != 0 || job.DerateLate != 0 {
+	if job.DerateEarly != nil || job.DerateLate != nil {
 		de, dl := tm.Derates()
-		if job.DerateEarly != 0 {
-			de = job.DerateEarly
+		if job.DerateEarly != nil {
+			de = *job.DerateEarly
 		}
-		if job.DerateLate != 0 {
-			dl = job.DerateLate
+		if job.DerateLate != nil {
+			dl = *job.DerateLate
 		}
 		tm.SetDerates(de, dl)
 	}
@@ -85,7 +88,7 @@ func mixedJobs(period float64) []Job {
 		{Scheduler: iccss.Scheduler, Options: sched.Options{Mode: timing.Late}},
 		{Scheduler: fpm.Scheduler},
 		{Options: sched.Options{Mode: timing.Late}, Period: period * 1.25},
-		{Options: sched.Options{Mode: timing.Early}, DerateEarly: 1.05, DerateLate: 0.92},
+		{Options: sched.Options{Mode: timing.Early}, DerateEarly: pf(1.05), DerateLate: pf(0.92)},
 	}
 }
 
@@ -160,7 +163,7 @@ func TestEngineRecycledStateIsPristine(t *testing.T) {
 	clean := serialReference(t, d, Job{Options: sched.Options{Mode: timing.Late}})
 	if _, err := e.Run(Job{
 		Options: sched.Options{Mode: timing.Late},
-		Period:  d.Period * 2, DerateEarly: 1.1, DerateLate: 0.8,
+		Period:  d.Period * 2, DerateEarly: pf(1.1), DerateLate: pf(0.8),
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +265,7 @@ func TestEngineWhatIfDerateMatchesRebuild(t *testing.T) {
 	}
 	got, err := e.Run(Job{
 		Options:     sched.Options{Mode: timing.Early},
-		DerateEarly: 1.08, DerateLate: 0.9,
+		DerateEarly: pf(1.08), DerateLate: pf(0.9),
 	})
 	if err != nil {
 		t.Fatal(err)

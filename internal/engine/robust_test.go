@@ -15,8 +15,8 @@ import (
 // case for pool hygiene.
 type panicScheduler struct{}
 
-func (panicScheduler) Schedule(tm *timing.Timer, opts sched.Options) (*sched.Result, error) {
-	tm.AddExtraLatency(tm.D.FFs[0], 123) // poison the state first
+func (panicScheduler) Schedule(tm sched.TimingView, opts sched.Options) (*sched.Result, error) {
+	tm.AddExtraLatency(tm.Design().FFs[0], 123) // poison the state first
 	panic("injected scheduler panic")
 }
 

@@ -19,14 +19,24 @@ type Metrics struct {
 	HPWL                float64
 }
 
-// Measure evaluates the design under the timer's current state.
-func Measure(tm *timing.Timer) Metrics {
+// TimingSource is the slice of the timing surface Measure reads — both
+// *timing.Timer and any sched.TimingView (e.g. a multi-corner
+// timing.CornerSet, whose WNS/TNS are then the worst-case envelope)
+// satisfy it.
+type TimingSource interface {
+	WNSTNS(m timing.Mode) (wns, tns float64)
+	ViolatedEndpoints(m timing.Mode, dst []timing.EndpointID) []timing.EndpointID
+	Design() *netlist.Design
+}
+
+// Measure evaluates the design under the timing source's current state.
+func Measure(tm TimingSource) Metrics {
 	var m Metrics
 	m.WNSEarly, m.TNSEarly = tm.WNSTNS(timing.Early)
 	m.WNSLate, m.TNSLate = tm.WNSTNS(timing.Late)
 	m.ViolEarly = len(tm.ViolatedEndpoints(timing.Early, nil))
 	m.ViolLate = len(tm.ViolatedEndpoints(timing.Late, nil))
-	m.HPWL = tm.D.HPWL()
+	m.HPWL = tm.Design().HPWL()
 	return m
 }
 

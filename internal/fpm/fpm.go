@@ -44,7 +44,7 @@ var Scheduler sched.Scheduler = sched.Func(Schedule)
 // Schedule runs FPM: full early-graph extraction followed by one greedy
 // predictive skew pass. Latencies are left applied on the timer. Degenerate
 // designs return a *sched.DegenerateInputError, matching core and iccss.
-func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
+func Schedule(tm sched.TimingView, opts Options) (*Result, error) {
 	start := time.Now()
 	if err := sched.ValidateTimer(tm); err != nil {
 		return nil, err
@@ -54,7 +54,7 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 		rec = tm.Recorder()
 	}
 	runSp := rec.StartSpan(obs.SpanSchedule).WithReq(obs.RequestID(opts.Context))
-	d := tm.D
+	d := tm.Design()
 	g := seqgraph.New()
 	isPort := func(c netlist.CellID) bool {
 		k := d.Cells[c].Type.Kind

@@ -49,7 +49,7 @@ var Scheduler sched.Scheduler = sched.Func(Schedule)
 // the computed latencies applied as predictive latencies, and like
 // core.Schedule it rejects degenerate designs with a
 // *core.DegenerateInputError.
-func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
+func Schedule(tm sched.TimingView, opts Options) (*Result, error) {
 	start := time.Now()
 	if err := sched.ValidateTimer(tm); err != nil {
 		return nil, err
@@ -76,7 +76,7 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 		tm.SetWorkers(opts.Workers)
 		defer tm.SetWorkers(prevWorkers)
 	}
-	d := tm.D
+	d := tm.Design()
 	g := seqgraph.New()
 	isPort := func(c netlist.CellID) bool {
 		k := d.Cells[c].Type.Kind
@@ -295,6 +295,7 @@ func Schedule(tm *timing.Timer, opts Options) (*Result, error) {
 			Round: round, WNS: wns, TNS: tns,
 			NewEdges: newEdges, Raised: raised, CycleLen: cycleLen,
 			ElapsedMS: float64(time.Since(start).Nanoseconds()) / 1e6,
+			Corners:   sched.CornerStats(tm, opts.Mode),
 		})
 	}
 

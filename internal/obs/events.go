@@ -39,6 +39,18 @@ type Event struct {
 	TimerPins int     `json:"timer_pins,omitempty"`
 	Stall     int     `json:"stall,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+
+	// Corners, on multi-corner "round"/"qor" events, breaks the envelope
+	// WNS/TNS above down by corner. Absent on single-corner runs.
+	Corners []CornerStat `json:"corners,omitempty"`
+}
+
+// CornerStat is one corner's slice of a multi-corner event: the corner's own
+// WNS/TNS in the event's mode, not the cross-corner envelope.
+type CornerStat struct {
+	Name string  `json:"name"`
+	WNS  float64 `json:"wns"`
+	TNS  float64 `json:"tns"`
 }
 
 // EventSink serializes events as JSON Lines to one writer. Writes are

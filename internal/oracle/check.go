@@ -90,7 +90,11 @@ type Checker struct {
 // one of the engines mis-times the netlist and any later check would be
 // meaningless, so it is an error rather than a finding.
 func NewChecker(tm *timing.Timer, opts CheckOptions) (*Checker, error) {
-	g, err := Extract(tm.D, tm.M)
+	// Extract under the timer's EFFECTIVE corner — its (possibly what-if)
+	// period and derates, not the design/model defaults — so a retimed or
+	// re-derated state cross-validates instead of trivially disagreeing.
+	de, dl := tm.Derates()
+	g, err := ExtractAt(tm.D, tm.M, tm.Period(), de, dl)
 	if err != nil {
 		return nil, err
 	}

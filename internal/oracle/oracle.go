@@ -43,6 +43,12 @@ type Graph struct {
 	D *netlist.Design
 	M delay.Model
 
+	// Period is the clock period every late slack is evaluated against.
+	// Extract sets it to the design's; ExtractAt to the corner's — which is
+	// what lets one oracle instance check each corner of a multi-corner
+	// schedule independently.
+	Period float64
+
 	// Late and Early hold one edge per connected (launch, capture) pair:
 	// the worst setup-path delay and the best hold-path delay respectively.
 	Late  []Edge
@@ -66,12 +72,31 @@ type pinArc struct {
 // records one edge per reachable endpoint. It fails on combinational cycles
 // (which have no static timing interpretation).
 func Extract(d *netlist.Design, m delay.Model) (*Graph, error) {
+	return ExtractAt(d, m, 0, 0, 0)
+}
+
+// ExtractAt is Extract under one analysis corner: a what-if clock period
+// (0 means the design's) and early/late derate overrides (0 keeps the
+// model's). It is the per-corner entry point for checking a multi-corner
+// schedule: build one oracle graph per corner and verify the single shared
+// latency assignment against each.
+func ExtractAt(d *netlist.Design, m delay.Model, period, dEarly, dLate float64) (*Graph, error) {
+	if period == 0 {
+		period = d.Period
+	}
+	if dEarly == 0 {
+		dEarly = m.DerateEarly
+	}
+	if dLate == 0 {
+		dLate = m.DerateLate
+	}
 	g := &Graph{
 		D:       d,
 		M:       m,
+		Period:  period,
 		BaseLat: make(map[netlist.CellID]float64, len(d.FFs)),
-		dEarly:  m.DerateEarly,
-		dLate:   m.DerateLate,
+		dEarly:  dEarly,
+		dLate:   dLate,
 	}
 	if g.dEarly == 0 {
 		g.dEarly = 1
@@ -297,6 +322,15 @@ func topoPins(np int, arcs [][]pinArc) ([]netlist.PinID, error) {
 	return order, nil
 }
 
+// period resolves the graph's analysis period, falling back to the design's
+// for hand-built Graph literals that never set the field.
+func (g *Graph) period() float64 {
+	if g.Period != 0 {
+		return g.Period
+	}
+	return g.D.Period
+}
+
 // Latency returns a sequential cell's effective clock latency under an
 // extra-latency assignment: clock-network arrival plus extra for flip-flops,
 // the virtual-clock PortLatency for ports.
@@ -327,7 +361,7 @@ func (g *Graph) SlackOf(launch, capture netlist.CellID, pathDelay float64, late 
 		setup = d.OutDelay[capture]
 	}
 	if late {
-		return lC + d.Period - setup - (lL + pathDelay)
+		return lC + g.period() - setup - (lL + pathDelay)
 	}
 	return (lL + pathDelay) - (lC + hold)
 }

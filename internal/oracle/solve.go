@@ -217,7 +217,7 @@ func (g *Graph) Solve(extra map[netlist.CellID]float64, opts SolveOptions) *Solu
 	}
 	sol.Latency = witness()
 
-	hi := math.Max(lo, 0) + d.Period
+	hi := math.Max(lo, 0) + g.period()
 	if ok, _ := feasible(hi); ok {
 		sol.WorstSlack = hi
 		sol.Capped = true

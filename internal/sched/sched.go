@@ -49,14 +49,14 @@ func ValidateInput(d *netlist.Design) error {
 	return validateShape(d)
 }
 
-// ValidateTimer is ValidateInput against a timer's effective state: the
-// design's sequential shape plus the state's (possibly what-if) clock period
-// rather than the design's. All three schedulers call it on entry.
-func ValidateTimer(tm *timing.Timer) error {
+// ValidateTimer is ValidateInput against a timing view's effective state:
+// the design's sequential shape plus the view's (possibly what-if) clock
+// period rather than the design's. All three schedulers call it on entry.
+func ValidateTimer(tm TimingView) error {
 	if err := validatePeriod(tm.Period()); err != nil {
 		return err
 	}
-	return validateShape(tm.D)
+	return validateShape(tm.Design())
 }
 
 func validatePeriod(period float64) error {
@@ -312,18 +312,106 @@ type Result struct {
 	Graph *seqgraph.Graph
 }
 
+// TimingView is the slack/extract/apply-latency surface the schedulers
+// consume. *timing.State (= *timing.Timer) is the trivial single-corner
+// implementation; timing.CornerSet joins several states over one shared
+// graph into a worst-case envelope, which turns every scheduler written
+// against this interface into a multi-corner scheduler for free.
+//
+// The contract mirrors the State methods exactly (see internal/timing for
+// per-method semantics); the only requirements beyond a single state are
+// the envelope laws a multi-corner implementation must keep:
+//
+//   - Slack/EarlySlack/LaunchLateSlack/WNSTNS report the worst corner
+//     (per-endpoint minimum), so "nonnegative everywhere" means "meets
+//     every corner";
+//   - ViolatedEndpoints is the union of violating endpoints;
+//   - the Extract* methods return edges whose EdgeSlack, evaluated on the
+//     view, reproduces each edge's slack in its corner of origin;
+//   - AddExtraLatency/Update apply to every corner, and DOut is the
+//     largest (most conservative for Eq 8) over corners.
+type TimingView interface {
+	// Identity and shape.
+	Design() *netlist.Design
+	Period() float64
+	Endpoints() []timing.Endpoint
+	EndpointOf(c netlist.CellID) timing.EndpointID
+
+	// Slack queries (worst corner).
+	Slack(id timing.EndpointID, m timing.Mode) float64
+	EarlySlack(id timing.EndpointID) float64
+	LaunchLateSlack(c netlist.CellID) float64
+	ViolatedEndpoints(m timing.Mode, dst []timing.EndpointID) []timing.EndpointID
+	WNSTNS(m timing.Mode) (wns, tns float64)
+	EdgeSlack(e timing.SeqEdge) float64
+
+	// Essential-edge extraction (union over corners).
+	ExtractEssentialBatch(endpoints []timing.EndpointID, m timing.Mode, margin float64, workers int, dst []timing.SeqEdge) []timing.SeqEdge
+	ExtractAllFrom(launch netlist.CellID, m timing.Mode, dst []timing.SeqEdge) []timing.SeqEdge
+	ExtractAllInto(capture netlist.CellID, m timing.Mode, dst []timing.SeqEdge) []timing.SeqEdge
+	ExtractAllFromBatch(launches []netlist.CellID, m timing.Mode, workers int, dst []timing.SeqEdge) []timing.SeqEdge
+	ExtractAllIntoBatch(captures []netlist.CellID, m timing.Mode, workers int, dst []timing.SeqEdge) []timing.SeqEdge
+
+	// Latency application and propagation.
+	DOut(c netlist.CellID) float64
+	BaseLatency(c netlist.CellID) float64
+	ExtraLatency(c netlist.CellID) float64
+	AddExtraLatency(c netlist.CellID, delta float64)
+	Update() int
+
+	// Run plumbing the schedulers install for the duration of a run.
+	SetWorkers(n int)
+	Workers() int
+	SetCheck(fn func() bool)
+	Check() func() bool
+	Recorder() *obs.Recorder
+}
+
+// CornerView is the optional multi-corner extension of TimingView. The
+// schedulers type-assert for it when emitting round events so streams and
+// metrics gain a per-corner WNS/TNS breakdown; single-corner states simply
+// don't implement it.
+type CornerView interface {
+	TimingView
+	// NumCorners reports how many corners the view joins (≥ 1).
+	NumCorners() int
+	// CornerName returns corner i's label.
+	CornerName(i int) string
+	// CornerWNSTNS reports corner i's own (non-envelope) WNS/TNS.
+	CornerWNSTNS(i int, m timing.Mode) (wns, tns float64)
+	// UnionDiffRounds counts extraction calls so far in which at least two
+	// corners disagreed on the essential edge set — the proof that the
+	// union path did real multi-corner work.
+	UnionDiffRounds() int
+}
+
+// CornerStats snapshots every corner of a view for a round event, or nil if
+// the view is single-corner.
+func CornerStats(tm TimingView, m timing.Mode) []obs.CornerStat {
+	cv, ok := tm.(CornerView)
+	if !ok {
+		return nil
+	}
+	out := make([]obs.CornerStat, cv.NumCorners())
+	for i := range out {
+		wns, tns := cv.CornerWNSTNS(i, m)
+		out[i] = obs.CornerStat{Name: cv.CornerName(i), WNS: wns, TNS: tns}
+	}
+	return out
+}
+
 // Scheduler is the common contract of the three CSS implementations. The
-// computed latencies are left applied on the timer as predictive (extra)
+// computed latencies are left applied on the view as predictive (extra)
 // latencies; degenerate inputs return a *DegenerateInputError.
 type Scheduler interface {
-	Schedule(tm *timing.Timer, opts Options) (*Result, error)
+	Schedule(tm TimingView, opts Options) (*Result, error)
 }
 
 // Func adapts a plain scheduling function to the Scheduler interface —
 // core.Schedule, iccss.Schedule and fpm.Schedule all convert directly.
-type Func func(tm *timing.Timer, opts Options) (*Result, error)
+type Func func(tm TimingView, opts Options) (*Result, error)
 
 // Schedule implements Scheduler.
-func (f Func) Schedule(tm *timing.Timer, opts Options) (*Result, error) {
+func (f Func) Schedule(tm TimingView, opts Options) (*Result, error) {
 	return f(tm, opts)
 }

@@ -3,8 +3,10 @@ package serve
 import (
 	"encoding/hex"
 	"fmt"
+	"math"
 	"strconv"
 
+	"iterskew/internal/engine"
 	"iterskew/internal/graphio"
 	"iterskew/internal/netlist"
 	"iterskew/internal/sched"
@@ -62,10 +64,17 @@ type JobSpec struct {
 	Mode string `json:"mode,omitempty"`
 	// PeriodPS, when nonzero, retimes this session to a what-if clock period.
 	PeriodPS float64 `json:"period_ps,omitempty"`
-	// DerateEarly / DerateLate, when nonzero, override the delay derates for
-	// this session only.
-	DerateEarly float64 `json:"derate_early,omitempty"`
-	DerateLate  float64 `json:"derate_late,omitempty"`
+	// DerateEarly / DerateLate, when present, override the delay derates for
+	// this session only. Absent fields keep the model's values; a present
+	// field must be a positive finite derate (an explicit 0 is a 400, not a
+	// silent no-op).
+	DerateEarly *float64 `json:"derate_early,omitempty"`
+	DerateLate  *float64 `json:"derate_late,omitempty"`
+	// Corners, when present, runs the job multi-corner: the scheduler
+	// optimizes the worst-case envelope over every listed period/derate
+	// universe and the response gains a per-corner QoR breakdown. A corners
+	// job must not also set the top-level PeriodPS/Derate* overrides.
+	Corners []CornerSpec `json:"corners,omitempty"`
 	// MaxRounds caps the update-extract rounds (0 = scheduler default; the
 	// server may clamp it to Config.MaxJobRounds).
 	MaxRounds int `json:"max_rounds,omitempty"`
@@ -79,6 +88,32 @@ type JobSpec struct {
 	// line while the scheduler runs, then a final line carrying the
 	// JobResponse (distinguished by "type":"result").
 	Stream bool `json:"stream,omitempty"`
+}
+
+// CornerSpec is one analysis corner of a multi-corner job.
+type CornerSpec struct {
+	// Name labels the corner in events, metrics, and the response breakdown;
+	// empty names are auto-assigned "c0", "c1", … in list order. Names must
+	// be unique within one job.
+	Name string `json:"name,omitempty"`
+	// PeriodPS is the corner's clock period; required and positive.
+	PeriodPS float64 `json:"period_ps"`
+	// DerateEarly / DerateLate, when present, set the corner's derates;
+	// absent fields keep the model's values.
+	DerateEarly *float64 `json:"derate_early,omitempty"`
+	DerateLate  *float64 `json:"derate_late,omitempty"`
+}
+
+// CornerResult is one corner's slice of a multi-corner JobResponse: the
+// corner's own post-schedule WNS/TNS under the single shared latency
+// assignment.
+type CornerResult struct {
+	Name       string  `json:"name"`
+	PeriodPS   float64 `json:"period_ps"`
+	WNSEarlyPS float64 `json:"wns_early_ps"`
+	TNSEarlyPS float64 `json:"tns_early_ps"`
+	WNSLatePS  float64 `json:"wns_late_ps"`
+	TNSLatePS  float64 `json:"tns_late_ps"`
 }
 
 // JobResponse is one finished scheduling job. Type is always "result" so the
@@ -102,6 +137,14 @@ type JobResponse struct {
 	TNSEarlyPS float64 `json:"tns_early_ps"`
 	WNSLatePS  float64 `json:"wns_late_ps"`
 	TNSLatePS  float64 `json:"tns_late_ps"`
+
+	// Corners, on multi-corner jobs, breaks the QoR down by corner (the
+	// headline WNS/TNS fields above then report the worst-case envelope).
+	Corners []CornerResult `json:"corners,omitempty"`
+	// CornerDiffRounds counts extraction rounds in which the corners
+	// disagreed on the essential edge set — nonzero proves the union path
+	// did real multi-corner work on this job.
+	CornerDiffRounds int `json:"corner_diff_rounds,omitempty"`
 
 	// Target maps flip-flop cell ID (decimal string) → scheduled extra
 	// latency in ps; only positive entries appear.
@@ -175,6 +218,60 @@ func parseMode(s string) (timing.Mode, error) {
 		return timing.Late, nil
 	}
 	return timing.Early, fmt.Errorf("unknown mode %q (want \"early\" or \"late\")", s)
+}
+
+// wireDerate validates one optional derate override off the wire: absent is
+// "keep the model's value", present must be a positive finite multiplier.
+func wireDerate(field string, p *float64) (float64, error) {
+	if p == nil {
+		return 0, nil
+	}
+	if v := *p; v > 0 && !math.IsInf(v, 1) {
+		return v, nil
+	}
+	return 0, fmt.Errorf("%s %v must be a positive finite derate", field, *p)
+}
+
+// cornerList validates the spec's corner block and converts it to the
+// engine's corner type. Every violation here is a client error (400): an
+// explicitly empty list, a corner without a positive finite period, a
+// non-positive/non-finite derate, a duplicate name, or corners combined
+// with the top-level what-if overrides.
+func (spec *JobSpec) cornerList() ([]engine.Corner, error) {
+	if spec.Corners == nil {
+		return nil, nil
+	}
+	if len(spec.Corners) == 0 {
+		return nil, fmt.Errorf("corners: list is empty (omit the field for a single-corner job)")
+	}
+	if spec.PeriodPS != 0 || spec.DerateEarly != nil || spec.DerateLate != nil {
+		return nil, fmt.Errorf("corners: must not be combined with top-level period_ps/derate overrides")
+	}
+	out := make([]engine.Corner, len(spec.Corners))
+	seen := make(map[string]bool, len(spec.Corners))
+	for i, c := range spec.Corners {
+		if !(c.PeriodPS > 0) || math.IsInf(c.PeriodPS, 1) {
+			return nil, fmt.Errorf("corners[%d]: period_ps %v must be positive and finite", i, c.PeriodPS)
+		}
+		de, err := wireDerate("derate_early", c.DerateEarly)
+		if err != nil {
+			return nil, fmt.Errorf("corners[%d]: %w", i, err)
+		}
+		dl, err := wireDerate("derate_late", c.DerateLate)
+		if err != nil {
+			return nil, fmt.Errorf("corners[%d]: %w", i, err)
+		}
+		name := c.Name
+		if name == "" {
+			name = fmt.Sprintf("c%d", i)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("corners[%d]: duplicate corner name %q", i, name)
+		}
+		seen[name] = true
+		out[i] = engine.Corner{Name: name, Period: c.PeriodPS, DerateEarly: de, DerateLate: dl}
+	}
+	return out, nil
 }
 
 // options converts the spec's scheduler knobs into sched.Options, clamping

@@ -1,0 +1,178 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"iterskew/internal/core"
+	"iterskew/internal/delay"
+	"iterskew/internal/sched"
+	"iterskew/internal/serve"
+	"iterskew/internal/timing"
+)
+
+func pd(v float64) *float64 { return &v }
+
+// TestCornerSpecErrors locks the typed-400 battery for malformed and
+// degenerate corner specs: every case must come back as an ErrorResponse with
+// a message naming the offending field.
+func TestCornerSpecErrors(t *testing.T) {
+	d := genDesign(t, 16)
+	_, ts := newServer(t, serve.Config{})
+	up := upload(t, ts, netText(t, d))
+
+	cases := []struct {
+		name    string
+		body    string
+		wantSub string
+	}{
+		{"empty-corner-list", `{"corners":[]}`, "list is empty"},
+		{"zero-period", `{"corners":[{"period_ps":0}]}`, "period_ps"},
+		{"negative-period", `{"corners":[{"period_ps":-100}]}`, "period_ps"},
+		{"zero-derate", `{"corners":[{"period_ps":500,"derate_early":0}]}`, "derate_early"},
+		{"negative-derate", `{"corners":[{"period_ps":500,"derate_late":-1.1}]}`, "derate_late"},
+		{"duplicate-names", `{"corners":[{"name":"wc","period_ps":500},{"name":"wc","period_ps":600}]}`, "duplicate"},
+		{"auto-name-collision", `{"corners":[{"period_ps":500},{"name":"c0","period_ps":600}]}`, "duplicate"},
+		{"corners-plus-period", `{"period_ps":500,"corners":[{"period_ps":500}]}`, "must not be combined"},
+		{"corners-plus-derate", `{"derate_late":1.1,"corners":[{"period_ps":500}]}`, "must not be combined"},
+		{"top-level-zero-derate", `{"derate_early":0}`, "derate_early"},
+		{"top-level-negative-derate", `{"derate_late":-0.9}`, "derate_late"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/graphs/"+up.Handle+"/jobs",
+				"application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("HTTP %d, want 400", resp.StatusCode)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			var e serve.ErrorResponse
+			if err := json.Unmarshal(body, &e); err != nil {
+				t.Fatalf("error body: %v\n%s", err, body)
+			}
+			if !strings.Contains(e.Error, tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", e.Error, tc.wantSub)
+			}
+			if e.RequestID == "" {
+				t.Fatal("error response has no request_id")
+			}
+		})
+	}
+
+	// The battery must not poison the daemon: a good corner job still works.
+	code, data, _ := postJob(t, ts, up.Handle, serve.JobSpec{
+		Corners: []serve.CornerSpec{{Name: "typ", PeriodPS: d.Period}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("good corner job after error battery: HTTP %d: %s", code, data)
+	}
+}
+
+// TestCornerJobMatchesDirectRun: a multi-corner job over HTTP returns the
+// same targets and per-corner QoR breakdown as an in-process CornerSet run.
+func TestCornerJobMatchesDirectRun(t *testing.T) {
+	d := genDesign(t, 16)
+	_, ts := newServer(t, serve.Config{})
+	up := upload(t, ts, netText(t, d))
+
+	spec := serve.JobSpec{
+		Corners: []serve.CornerSpec{
+			{Name: "typ", PeriodPS: d.Period},
+			{Name: "fast", PeriodPS: d.Period, DerateEarly: pd(0.85)},
+			{PeriodPS: d.Period * 1.2},
+		},
+	}
+	code, data, _ := postJob(t, ts, up.Handle, spec)
+	if code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", code, data)
+	}
+	jr := decodeJob(t, data)
+
+	// In-process reference over a dedicated compiled graph.
+	g, err := timing.Compile(d, delay.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := timing.NewCornerSet(g, []timing.Corner{
+		{Name: "typ", Period: d.Period},
+		{Name: "fast", Period: d.Period, DerateEarly: 0.85},
+		{Period: d.Period * 1.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Schedule(cs, sched.Options{Mode: timing.Early})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTargets(t, jr, res.Target)
+
+	if len(jr.Corners) != cs.NumCorners() {
+		t.Fatalf("response has %d corner rows, want %d", len(jr.Corners), cs.NumCorners())
+	}
+	wantNames := []string{"typ", "fast", "c2"}
+	for i, cr := range jr.Corners {
+		if cr.Name != wantNames[i] {
+			t.Errorf("corner %d named %q, want %q", i, cr.Name, wantNames[i])
+		}
+		we, te := cs.CornerWNSTNS(i, timing.Early)
+		wl, tl := cs.CornerWNSTNS(i, timing.Late)
+		for _, f := range []struct {
+			name      string
+			got, want float64
+		}{
+			{"wns_early", cr.WNSEarlyPS, we},
+			{"tns_early", cr.TNSEarlyPS, te},
+			{"wns_late", cr.WNSLatePS, wl},
+			{"tns_late", cr.TNSLatePS, tl},
+		} {
+			if math.Float64bits(f.got) != math.Float64bits(f.want) {
+				t.Errorf("corner %d %s: got %v, want %v (bitwise)", i, f.name, f.got, f.want)
+			}
+		}
+	}
+	if jr.CornerDiffRounds != cs.UnionDiffRounds() {
+		t.Errorf("corner_diff_rounds %d, want %d", jr.CornerDiffRounds, cs.UnionDiffRounds())
+	}
+
+	// A single-corner job reports no corner block at all.
+	code, data, _ = postJob(t, ts, up.Handle, serve.JobSpec{})
+	if code != http.StatusOK {
+		t.Fatalf("plain job: HTTP %d: %s", code, data)
+	}
+	if plain := decodeJob(t, data); len(plain.Corners) != 0 || plain.CornerDiffRounds != 0 {
+		t.Fatalf("single-corner job leaked corner fields: %+v", plain.Corners)
+	}
+}
+
+// TestGoldenCornersError locks the wire shape of a corner-spec rejection.
+func TestGoldenCornersError(t *testing.T) {
+	d := genDesign(t, 16)
+	_, ts := newServer(t, serve.Config{})
+	up := upload(t, ts, netText(t, d))
+
+	resp, err := http.Post(ts.URL+"/v1/graphs/"+up.Handle+"/jobs",
+		"application/json", strings.NewReader(`{"corners":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("HTTP %d, want 400", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "corners_error.json", normalizeJSON(t, raw, func(m map[string]any) {
+		m["request_id"] = "REQUEST_ID"
+	}))
+}

@@ -18,7 +18,6 @@ import (
 	"iterskew/internal/netlist"
 	"iterskew/internal/sched"
 	"iterskew/internal/serve"
-	"iterskew/internal/timing"
 )
 
 // gateSched is a controllable scheduler: it parks inside Schedule until the
@@ -34,7 +33,7 @@ func newGateSched() *gateSched {
 	return &gateSched{started: make(chan struct{}, 16), release: make(chan struct{})}
 }
 
-func (g *gateSched) Schedule(tm *timing.Timer, opts sched.Options) (*sched.Result, error) {
+func (g *gateSched) Schedule(tm sched.TimingView, opts sched.Options) (*sched.Result, error) {
 	g.started <- struct{}{}
 	ctx := opts.Context
 	if ctx == nil {

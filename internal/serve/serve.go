@@ -334,6 +334,19 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
+	if _, err := wireDerate("derate_early", spec.DerateEarly); err != nil {
+		writeErr(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	if _, err := wireDerate("derate_late", spec.DerateLate); err != nil {
+		writeErr(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	corners, err := spec.cornerList()
+	if err != nil {
+		writeErr(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
 
 	info := infoFrom(r)
 	info.handle, info.scheduler = key.String(), name
@@ -359,6 +372,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		Period:      spec.PeriodPS,
 		DerateEarly: spec.DerateEarly,
 		DerateLate:  spec.DerateLate,
+		Corners:     corners,
 	}
 	if spec.TimeoutMS > 0 {
 		job.Timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
@@ -390,8 +404,28 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		job.Options.Recorder = s.rec
 	}
 
+	// QoR (and, for corner jobs, the per-corner breakdown) can only be read
+	// inside the session, while the latencies are still applied.
 	var qor eval.Metrics
-	job.After = func(tm *timing.Timer, _ *sched.Result) { qor = eval.Measure(tm) }
+	var cornerRes []CornerResult
+	var cornerDiff int
+	job.After = func(tm sched.TimingView, _ *sched.Result) {
+		qor = eval.Measure(tm)
+		cv, ok := tm.(sched.CornerView)
+		if !ok {
+			return
+		}
+		cornerDiff = cv.UnionDiffRounds()
+		cornerRes = make([]CornerResult, cv.NumCorners())
+		for i := range cornerRes {
+			we, te := cv.CornerWNSTNS(i, timing.Early)
+			wl, tl := cv.CornerWNSTNS(i, timing.Late)
+			cornerRes[i] = CornerResult{
+				Name: cv.CornerName(i), PeriodPS: corners[i].Period,
+				WNSEarlyPS: we, TNSEarlyPS: te, WNSLatePS: wl, TNSLatePS: tl,
+			}
+		}
+	}
 
 	res, err := eng.Run(job)
 	if err != nil {
@@ -427,26 +461,35 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		WNS: qor.WNSLate, TNS: qor.TNSLate,
 		ElapsedMS: float64(res.Elapsed.Nanoseconds()) / 1e6,
 	}
+	if len(cornerRes) > 0 {
+		qorEv.Corners = make([]obs.CornerStat, len(cornerRes))
+		for i, c := range cornerRes {
+			qorEv.Corners[i] = obs.CornerStat{Name: c.Name, WNS: c.WNSLatePS, TNS: c.TNSLatePS}
+			s.metrics.cornerJobs.Add(1, name, c.Name)
+		}
+	}
 	if job.Options.Recorder != s.rec {
 		job.Options.Recorder.Emit(qorEv)
 	}
 	s.rec.Emit(qorEv)
 
 	out := JobResponse{
-		Type:           "result",
-		Handle:         key.String(),
-		Scheduler:      name,
-		Mode:           mode.String(),
-		StopReason:     res.StopReason.String(),
-		Rounds:         res.Rounds,
-		Cycles:         res.Cycles,
-		EdgesExtracted: res.EdgesExtracted,
-		ElapsedMS:      float64(res.Elapsed.Nanoseconds()) / 1e6,
-		WNSEarlyPS:     qor.WNSEarly,
-		TNSEarlyPS:     qor.TNSEarly,
-		WNSLatePS:      qor.WNSLate,
-		TNSLatePS:      qor.TNSLate,
-		Target:         targetWire(res.Target),
+		Type:             "result",
+		Handle:           key.String(),
+		Scheduler:        name,
+		Mode:             mode.String(),
+		StopReason:       res.StopReason.String(),
+		Rounds:           res.Rounds,
+		Cycles:           res.Cycles,
+		EdgesExtracted:   res.EdgesExtracted,
+		ElapsedMS:        float64(res.Elapsed.Nanoseconds()) / 1e6,
+		WNSEarlyPS:       qor.WNSEarly,
+		TNSEarlyPS:       qor.TNSEarly,
+		WNSLatePS:        qor.WNSLate,
+		TNSLatePS:        qor.TNSLate,
+		Corners:          cornerRes,
+		CornerDiffRounds: cornerDiff,
+		Target:           targetWire(res.Target),
 	}
 	if stream != nil {
 		_ = json.NewEncoder(stream).Encode(out)

@@ -47,6 +47,7 @@ type metrics struct {
 	jobOutcomes  *obs.LabeledCtr // {scheduler, stop_reason}
 	jobSeconds   *obs.BucketHist // {scheduler}
 	jobRounds    *obs.BucketHist // {scheduler}
+	cornerJobs   *obs.LabeledCtr // {scheduler, corner}
 }
 
 func newMetrics(rec *obs.Recorder) metrics {
@@ -66,6 +67,9 @@ func newMetrics(rec *obs.Recorder) metrics {
 		jobRounds: rec.BucketHistogram("serve_job_rounds",
 			"Update-extract rounds per finished job, by scheduler.",
 			roundsBounds, "scheduler"),
+		cornerJobs: rec.LabeledCounter("serve_job_corners_total",
+			"Corners scheduled by finished multi-corner jobs, by scheduler and corner name.",
+			"scheduler", "corner"),
 	}
 }
 

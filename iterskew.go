@@ -65,6 +65,16 @@ type (
 	TimingGraph = timing.Graph
 	// Mode selects early (hold) or late (setup) analysis.
 	Mode = timing.Mode
+	// TimingView is the slack/extract/apply-latency surface the schedulers
+	// consume. *Timer is the single-corner implementation; *CornerSet joins
+	// several corners into a worst-case envelope.
+	TimingView = sched.TimingView
+	// Corner names one analysis universe (period + derates) of a
+	// multi-corner run.
+	Corner = timing.Corner
+	// CornerSet presents N corner states over one shared TimingGraph as a
+	// single TimingView: envelope slacks, union essential-edge extraction.
+	CornerSet = timing.CornerSet
 	// Scheduler is the contract every CSS implementation satisfies; the
 	// three bundled schedulers are exposed as CoreScheduler, ICCSSScheduler
 	// and FPMScheduler.
@@ -223,6 +233,14 @@ func NewTimer(d *Design) (*Timer, error) { return timing.New(d, delay.Default())
 // analysis session.
 func Compile(d *Design) (*TimingGraph, error) { return timing.Compile(d, delay.Default()) }
 
+// NewCornerSet builds one timing state per corner over a compiled graph and
+// joins them into a multi-corner TimingView: any Scheduler run against it
+// produces a single latency assignment meeting every corner (worst-case
+// envelope slacks, union essential-edge extraction).
+func NewCornerSet(g *TimingGraph, corners []Corner) (*CornerSet, error) {
+	return timing.NewCornerSet(g, corners)
+}
+
 // Compiled-graph persistence, caching and delta recompilation.
 type (
 	// GraphHash is the content hash binding a compiled graph artifact to its
@@ -285,17 +303,22 @@ var (
 type DegenerateInputError = core.DegenerateInputError
 
 // ScheduleSkew runs the paper's iterative clock skew scheduling (Alg 1) and
-// leaves the computed latencies applied predictively on the timer.
+// leaves the computed latencies applied predictively on the timing view —
+// a *Timer for single-corner runs, a *CornerSet for multi-corner ones.
 // Degenerate designs return a *DegenerateInputError.
-func ScheduleSkew(tm *Timer, o ScheduleOptions) (*ScheduleResult, error) { return core.Schedule(tm, o) }
+func ScheduleSkew(tm TimingView, o ScheduleOptions) (*ScheduleResult, error) {
+	return core.Schedule(tm, o)
+}
 
 // ScheduleICCSS runs the IC-CSS+ baseline (§III-E). Degenerate designs
 // return a *DegenerateInputError.
-func ScheduleICCSS(tm *Timer, o ICCSSOptions) (*ICCSSResult, error) { return iccss.Schedule(tm, o) }
+func ScheduleICCSS(tm TimingView, o ICCSSOptions) (*ICCSSResult, error) {
+	return iccss.Schedule(tm, o)
+}
 
 // ScheduleFPM runs the FPM baseline (early violations only). Degenerate
 // designs return a *DegenerateInputError, matching the other schedulers.
-func ScheduleFPM(tm *Timer, o FPMOptions) (*FPMResult, error) { return fpm.Schedule(tm, o) }
+func ScheduleFPM(tm TimingView, o FPMOptions) (*FPMResult, error) { return fpm.Schedule(tm, o) }
 
 // Optimize realizes target latencies physically: LCB–FF reconnection plus
 // cell movement (§IV). It clears all predictive latencies.
