@@ -1,0 +1,116 @@
+package iterskew_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"iterskew/internal/adaptive"
+	"iterskew/internal/core"
+	"iterskew/internal/delay"
+	"iterskew/internal/obs"
+	"iterskew/internal/oracle"
+	"iterskew/internal/sched"
+	"iterskew/internal/timing"
+)
+
+// TestAdaptiveQualityAndCost is the acceptance gate for the adaptive
+// meta-scheduler: across the equivalence seed sweep, adaptive must reach a
+// final TNS within the oracle-gate tolerance of straight core while tracing
+// no more edges in any case and strictly fewer in aggregate — adaptivity may
+// change cost, never final quality. Invariants are validated by the LP
+// oracle without the gap check: deliberate plateau stops leave gaps the
+// meta-policy chose not to chase, which is the whole point.
+func TestAdaptiveQualityAndCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed schedule sweep")
+	}
+	type caseRun struct {
+		coreEdges, adEdges int64
+	}
+	var runs []caseRun
+	sawMultiPhase := false
+	for _, mode := range []timing.Mode{timing.Late, timing.Early} {
+		for _, seed := range equivSeeds {
+			d := equivDesign(t, 0.01, seed)
+
+			// run schedules a clone of the design and returns the result, the
+			// timer-side traced-edge counter, the final TNS, and the oracle
+			// report.
+			run := func(s sched.Scheduler) (*sched.Result, int64, float64, *oracle.Report) {
+				tm, err := timing.New(d.Clone(), delay.Default())
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec := obs.NewRecorder()
+				tm.SetRecorder(rec)
+				chk, err := oracle.NewChecker(tm, oracle.CheckOptions{Mode: mode})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Schedule(tm, sched.Options{Mode: mode, Recorder: rec})
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, tns := tm.WNSTNS(mode)
+				return res, rec.Counter(obs.CtrExtractEdges), tns, chk.Check(tm, res.Target, res.CycleFixes)
+			}
+
+			cres, cEdges, ctns, crep := run(core.Scheduler)
+			ares, aEdges, atns, arep := run(adaptive.Default)
+
+			for _, f := range crep.Findings {
+				t.Errorf("seed %d %v core oracle: %s", seed, mode, f)
+			}
+			for _, f := range arep.Findings {
+				t.Errorf("seed %d %v adaptive oracle: %s", seed, mode, f)
+			}
+
+			tol := math.Max(1.0, 0.015*math.Abs(ctns))
+			if math.Abs(atns-ctns) > tol {
+				t.Errorf("seed %d %v: adaptive tns %.3f vs core %.3f exceeds tolerance %.3f",
+					seed, mode, atns, ctns, tol)
+			}
+			if aEdges > cEdges {
+				t.Errorf("seed %d %v: adaptive traced %d edges > core %d", seed, mode, aEdges, cEdges)
+			}
+			runs = append(runs, caseRun{coreEdges: cEdges, adEdges: aEdges})
+
+			if len(ares.Phases) == 0 {
+				t.Errorf("seed %d %v: adaptive reported no phases", seed, mode)
+			}
+			if len(ares.Phases) >= 2 {
+				sawMultiPhase = true
+			}
+			sum := 0
+			for _, ph := range ares.Phases {
+				sum += ph.Rounds
+			}
+			if sum != ares.Rounds {
+				t.Errorf("seed %d %v: phase rounds sum %d != result rounds %d", seed, mode, sum, ares.Rounds)
+			}
+			t.Logf("seed %d %v: core tns=%.2f edges=%d rounds=%d | adaptive tns=%.2f edges=%d rounds=%d phases=%s stop=%s",
+				seed, mode, ctns, cEdges, cres.Rounds, atns, aEdges, ares.Rounds, phaseNames(ares), ares.StopReason)
+		}
+	}
+	var cTot, aTot int64
+	for _, r := range runs {
+		cTot += r.coreEdges
+		aTot += r.adEdges
+	}
+	if aTot >= cTot {
+		t.Errorf("aggregate: adaptive traced %d edges, core %d — expected strictly fewer", aTot, cTot)
+	}
+	if !sawMultiPhase {
+		t.Error("no run executed ≥2 phases — the ladder never engaged")
+	}
+	t.Logf("aggregate: core %d traced edges, adaptive %d (%.1f%%)", cTot, aTot, 100*float64(aTot)/float64(cTot))
+}
+
+func phaseNames(res *sched.Result) string {
+	names := make([]string, len(res.Phases))
+	for i, ph := range res.Phases {
+		names[i] = ph.Name
+	}
+	return strings.Join(names, "→")
+}

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"iterskew"
+	"iterskew/internal/adaptive"
+	"iterskew/internal/core"
+	"iterskew/internal/delay"
+	"iterskew/internal/obs"
+	"iterskew/internal/oracle"
+	"iterskew/internal/sched"
+	"iterskew/internal/timing"
+)
+
+// adaptiveJSON records the -adaptive mode: the cost of the adaptive
+// meta-scheduler's phase ladder against straight Ours (the core scheduler)
+// on identical timers, with the LP oracle ruling on both assignments and a
+// repeat run pinning determinism.
+type adaptiveJSON struct {
+	Rows []adaptiveRowJSON `json:"rows"`
+	// CoreEdges / AdaptiveEdges total the timer-side extract_edges counters
+	// across all designs; the savings percentage is the headline number.
+	CoreEdges      int64   `json:"core_edges_total"`
+	AdaptiveEdges  int64   `json:"adaptive_edges_total"`
+	EdgeSavingsPct float64 `json:"edge_savings_pct"`
+	// MultiPhase is true when at least one run chained >=2 ladder phases —
+	// zero would mean the meta-policy never engaged.
+	MultiPhase bool `json:"multi_phase_seen"`
+	// Stable asserts a second adaptive run produced a bit-identical schedule.
+	Stable bool `json:"byte_stable_rerun"`
+	// OracleOK: the LP oracle found nothing to report against either
+	// scheduler's assignment on any design (gap check off — deliberate
+	// plateau stops leave gaps the meta-policy chose not to chase).
+	OracleOK bool `json:"oracle_ok"`
+}
+
+// adaptiveRowJSON is one design's core-vs-adaptive comparison.
+type adaptiveRowJSON struct {
+	Design     string              `json:"design"`
+	CoreRounds int                 `json:"core_rounds"`
+	CoreEdges  int64               `json:"core_edges"`
+	CoreTNSps  float64             `json:"core_ltns_ps"`
+	CoreMs     float64             `json:"core_ms"`
+	AdRounds   int                 `json:"adaptive_rounds"`
+	AdEdges    int64               `json:"adaptive_edges"`
+	AdTNSps    float64             `json:"adaptive_ltns_ps"`
+	AdMs       float64             `json:"adaptive_ms"`
+	StopReason string              `json:"stop_reason"`
+	Phases     []adaptivePhaseJSON `json:"phases"`
+}
+
+// adaptivePhaseJSON is one rung of the executed ladder.
+type adaptivePhaseJSON struct {
+	Name       string  `json:"name"`
+	Scheduler  string  `json:"scheduler"`
+	Rounds     int     `json:"rounds"`
+	Edges      int     `json:"edges_extracted"`
+	StopReason string  `json:"stop_reason"`
+	GainTNSps  float64 `json:"gain_tns_ps"`
+	Reverted   bool    `json:"reverted,omitempty"`
+}
+
+// adaptiveRun is one scheduler pass over a fresh timer: the result, the
+// timer-side traced-edge counter, the final TNS in the scheduled mode, the
+// wall time, and the LP-oracle report on the returned assignment.
+type adaptiveRun struct {
+	res    *sched.Result
+	edges  int64
+	tns    float64
+	sec    float64
+	report *oracle.Report
+}
+
+func adaptiveSchedule(d *iterskew.Design, s sched.Scheduler, workers int) (adaptiveRun, error) {
+	var out adaptiveRun
+	tm, err := timing.New(d.Clone(), delay.Default())
+	if err != nil {
+		return out, err
+	}
+	tm.SetWorkers(workers)
+	rec := obs.NewRecorder()
+	tm.SetRecorder(rec)
+	chk, err := oracle.NewChecker(tm, oracle.CheckOptions{Mode: timing.Late})
+	if err != nil {
+		return out, err
+	}
+	start := time.Now()
+	out.res, err = s.Schedule(tm, sched.Options{Mode: timing.Late, Recorder: rec})
+	if err != nil {
+		return out, err
+	}
+	out.sec = time.Since(start).Seconds()
+	out.edges = rec.Counter(obs.CtrExtractEdges)
+	_, out.tns = tm.WNSTNS(timing.Late)
+	out.report = chk.Check(tm, out.res.Target, out.res.CycleFixes)
+	return out, nil
+}
+
+// runAdaptive is the -adaptive mode: for each selected design, run straight
+// core and the adaptive meta-scheduler (twice, for determinism) in Late mode,
+// verify both with the LP oracle, enforce the quality/cost contract —
+// adaptive within tolerance of core's TNS while tracing no more edges — and
+// merge an "adaptive" block into the -json output. Any gate failure exits
+// non-zero; the adaptive-smoke CI target relies on that.
+func runAdaptive(designs string, scale float64, workers int, jsonPath string) error {
+	names := iterskew.SuperblueNames()
+	if designs != "all" {
+		names = strings.Split(designs, ",")
+	}
+	aj := &adaptiveJSON{OracleOK: true, Stable: true}
+
+	fmt.Printf("adaptive ladder benchmark (scale %g, late mode)\n", scale)
+	fmt.Printf("%-12s | %6s %9s %12s %8s | %6s %9s %12s %8s | %s\n",
+		"Benchmark", "c-rds", "c-edges", "c-TNS", "c-ms", "a-rds", "a-edges", "a-TNS", "a-ms", "ladder")
+
+	var failures []string
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		p, err := iterskew.SuperblueProfile(name, scale)
+		if err != nil {
+			return err
+		}
+		d, err := iterskew.GenerateBenchmark(p)
+		if err != nil {
+			return err
+		}
+
+		c, err := adaptiveSchedule(d, core.Scheduler, workers)
+		if err != nil {
+			return fmt.Errorf("%s core: %w", name, err)
+		}
+		a, err := adaptiveSchedule(d, adaptive.Default, workers)
+		if err != nil {
+			return fmt.Errorf("%s adaptive: %w", name, err)
+		}
+		a2, err := adaptiveSchedule(d, adaptive.Default, workers)
+		if err != nil {
+			return fmt.Errorf("%s adaptive rerun: %w", name, err)
+		}
+
+		row := adaptiveRowJSON{
+			Design:     name,
+			CoreRounds: c.res.Rounds, CoreEdges: c.edges, CoreTNSps: c.tns, CoreMs: c.sec * 1e3,
+			AdRounds: a.res.Rounds, AdEdges: a.edges, AdTNSps: a.tns, AdMs: a.sec * 1e3,
+			StopReason: a.res.StopReason.String(),
+		}
+		ladder := make([]string, len(a.res.Phases))
+		for i, ph := range a.res.Phases {
+			row.Phases = append(row.Phases, adaptivePhaseJSON{
+				Name: ph.Name, Scheduler: ph.Scheduler, Rounds: ph.Rounds,
+				Edges: ph.EdgesExtracted, StopReason: ph.StopReason.String(),
+				GainTNSps: ph.GainTNS, Reverted: ph.Reverted,
+			})
+			ladder[i] = ph.Name
+		}
+		fmt.Printf("%-12s | %6d %9d %12.2f %8.1f | %6d %9d %12.2f %8.1f | %s [%s]\n",
+			name, row.CoreRounds, row.CoreEdges, row.CoreTNSps, row.CoreMs,
+			row.AdRounds, row.AdEdges, row.AdTNSps, row.AdMs,
+			strings.Join(ladder, "->"), row.StopReason)
+
+		for _, f := range c.report.Findings {
+			aj.OracleOK = false
+			failures = append(failures, fmt.Sprintf("%s core oracle: %s", name, f))
+		}
+		for _, f := range a.report.Findings {
+			aj.OracleOK = false
+			failures = append(failures, fmt.Sprintf("%s adaptive oracle: %s", name, f))
+		}
+		if tol := math.Max(1.0, 0.015*math.Abs(c.tns)); math.Abs(a.tns-c.tns) > tol {
+			failures = append(failures, fmt.Sprintf(
+				"%s: adaptive TNS %.3f vs core %.3f exceeds tolerance %.3f", name, a.tns, c.tns, tol))
+		}
+		if a.edges > c.edges {
+			failures = append(failures, fmt.Sprintf(
+				"%s: adaptive traced %d edges > core %d", name, a.edges, c.edges))
+		}
+		if len(a.res.Phases) == 0 {
+			failures = append(failures, name+": adaptive reported no phase breakdown")
+		}
+		if len(a.res.Phases) >= 2 {
+			aj.MultiPhase = true
+		}
+		if !sameSchedule(a.res.Target, a2.res.Target) || a.edges != a2.edges || a.res.Rounds != a2.res.Rounds {
+			aj.Stable = false
+			failures = append(failures, name+": adaptive rerun diverged from the first run")
+		}
+
+		aj.CoreEdges += c.edges
+		aj.AdaptiveEdges += a.edges
+		aj.Rows = append(aj.Rows, row)
+	}
+	if aj.CoreEdges > 0 {
+		aj.EdgeSavingsPct = 100 * (1 - float64(aj.AdaptiveEdges)/float64(aj.CoreEdges))
+	}
+	if !aj.MultiPhase {
+		failures = append(failures, "no design executed >=2 ladder phases — the meta-policy never engaged")
+	}
+
+	fmt.Printf("  traced edges: core %d, adaptive %d (%.2f%% saved); multi-phase=%v stable=%v oracle-ok=%v\n",
+		aj.CoreEdges, aj.AdaptiveEdges, aj.EdgeSavingsPct, aj.MultiPhase, aj.Stable, aj.OracleOK)
+
+	if jsonPath != "" {
+		if err := mergeBench(jsonPath, func(out *benchJSON) { out.Adaptive = aj }); err != nil {
+			return err
+		}
+		fmt.Printf("merged adaptive block into %s\n", jsonPath)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("adaptive gates failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Println("  adaptivity changed cost, not quality: all gates pass")
+	return nil
+}

@@ -1,0 +1,527 @@
+// Package adaptive implements the feedback-guided meta-scheduler (ROADMAP
+// item 5): a sched.Scheduler that climbs the cost ladder
+//
+//	FPM → Ours-Early → Ours → IC-CSS+
+//
+// deciding each step from live per-round feedback rather than a fixed
+// script. The rungs, within one mode-specific run:
+//
+//   - "fpm" (Early mode only): the one-shot predictive pass, taken only when
+//     the violation profile is dense enough that its full-graph extraction
+//     is competitive (most endpoints violated); on the sparse profiles the
+//     paper targets, the rung is skipped — its O(n·m') extraction would cost
+//     more than the entire iterative schedule.
+//   - "ours-early": short, tightly stall-guarded slices of the core
+//     algorithm — cheap probes that capture the steep head of the
+//     convergence curve and report back gain-per-round and gain-per-edge.
+//   - "ours": full-budget core slices under the caller's own stall guard.
+//   - "iccss+": the exhaustive-extraction baseline, tried only when core is
+//     dead-stalled (essentially zero gain) with violations left; its result
+//     is rolled back if it regresses TNS, so escalation can change cost but
+//     never final quality.
+//
+// Between slices the meta-policy reads the phase's StopReason and its
+// TNS-gain-per-round; a slice that plateaus below the configured bar ends
+// the run as StopStalled instead of letting the iteration crawl through
+// epsilon-sized increments — that, plus skipping the forced convergence
+// sweep of abandoned tails, is where the extraction savings over straight
+// core come from.
+//
+// Each core slice warm-starts from its predecessor via sched.Warm: the
+// essential-edge set, the frozen cycle cells, and the §III-B1 trace filter
+// carry over, so slicing itself re-traces nothing — a chained run extracts
+// exactly what one long run would have.
+package adaptive
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"iterskew/internal/core"
+	"iterskew/internal/fpm"
+	"iterskew/internal/iccss"
+	"iterskew/internal/netlist"
+	"iterskew/internal/obs"
+	"iterskew/internal/sched"
+	"iterskew/internal/seqgraph"
+	"iterskew/internal/timing"
+)
+
+const eps = 1e-6
+
+// Config tunes the meta-policy. The zero value gives the defaults; every
+// knob also rides the serve wire API (JobSpec.Adaptive) as a per-phase
+// budget override.
+type Config struct {
+	// ProbeRounds is the round budget of one "ours-early" probe slice.
+	// 0 means the default of 6.
+	ProbeRounds int
+	// ProbeStall is the StallRounds guard inside probe slices — tighter than
+	// the caller's so probes bail out of flat stretches quickly. 0 means the
+	// default of 2; negative disables the in-probe guard.
+	ProbeStall int
+	// MaxProbes caps the number of probe slices before the ladder moves to
+	// full "ours" slices. 0 means the default of 2; negative means no probe
+	// phases at all.
+	MaxProbes int
+	// SliceRounds is the round budget of one full "ours" slice (the run is
+	// still sliced so the plateau rule gets a look-in between slices).
+	// 0 means the default of 12.
+	SliceRounds int
+	// PlateauFrac sets the meta stall bar: a finished slice whose TNS gain
+	// per round is below max(PlateauAbs, PlateauFrac·|TNS|) ends the run as
+	// StopStalled. 0 means the default of 1e-3; negative disables the
+	// plateau rule (slices run until convergence or budget).
+	PlateauFrac float64
+	// PlateauAbs is the absolute gain-per-round floor of the plateau bar in
+	// ps. 0 means the default of 1.
+	PlateauAbs float64
+	// DenseFrac gates the fpm rung: it runs only when at least this fraction
+	// of endpoints violate in Early mode. 0 means the default of 0.5;
+	// negative always takes the rung.
+	DenseFrac float64
+	// DisableFPM / DisableICCSS cut the ladder's bottom and top rungs.
+	DisableFPM   bool
+	DisableICCSS bool
+}
+
+func (c *Config) defaults() {
+	if c.ProbeRounds == 0 {
+		c.ProbeRounds = 6
+	}
+	if c.ProbeStall == 0 {
+		c.ProbeStall = 2
+	}
+	if c.MaxProbes == 0 {
+		c.MaxProbes = 2
+	}
+	if c.SliceRounds == 0 {
+		c.SliceRounds = 12
+	}
+	if c.PlateauFrac == 0 {
+		c.PlateauFrac = 1e-3
+	}
+	if c.PlateauAbs == 0 {
+		c.PlateauAbs = 1
+	}
+	if c.DenseFrac == 0 {
+		c.DenseFrac = 0.5
+	}
+}
+
+// Scheduler is the adaptive meta-scheduler; it satisfies sched.Scheduler.
+type Scheduler struct {
+	cfg Config
+}
+
+// New builds a meta-scheduler with the given policy knobs (zero-value
+// fields take the defaults).
+func New(cfg Config) *Scheduler { return &Scheduler{cfg: cfg} }
+
+// Default is the zero-config meta-scheduler, for callers that dispatch on
+// the shared interface.
+var Default sched.Scheduler = New(Config{})
+
+// Schedule runs the phase ladder. Like the base schedulers it optimizes
+// opts.Mode, leaves the computed latencies applied on the view, and returns
+// a merged Result whose Phases field breaks the run down per rung. Rounds,
+// Progress callbacks and PerIter entries are renumbered globally across
+// phases, so downstream trajectory consumers see one monotone run.
+func Schedule(tm sched.TimingView, opts sched.Options) (*sched.Result, error) {
+	return Default.Schedule(tm, opts)
+}
+
+// Schedule implements sched.Scheduler.
+func (a *Scheduler) Schedule(tm sched.TimingView, opts sched.Options) (*sched.Result, error) {
+	start := time.Now()
+	if err := sched.ValidateTimer(tm); err != nil {
+		return nil, err
+	}
+	cfg := a.cfg
+	cfg.defaults()
+
+	budget := opts.MaxRounds
+	if budget == 0 {
+		budget = 200
+	}
+	userStall := opts.StallRounds
+	if userStall == 0 {
+		userStall = 3
+	}
+	// A caller-set guard tighter than the probe default tightens the probes
+	// too: the meta-scheduler may stop earlier than asked, never later.
+	probeStall := cfg.ProbeStall
+	if opts.StallRounds > 0 && userStall < probeStall {
+		probeStall = userStall
+	}
+	rec := opts.Recorder
+	if rec == nil {
+		rec = tm.Recorder()
+	}
+	req := obs.RequestID(opts.Context)
+	runSp := rec.NamedSpan("adaptive.schedule").WithReq(req)
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+		}
+	}
+	d := tm.Design()
+	isPort := func(c netlist.CellID) bool {
+		k := d.Cells[c].Type.Kind
+		return k == netlist.KindPortIn || k == netlist.KindPortOut
+	}
+	mode := opts.Mode
+	cc := opts.Canceller()
+
+	// union deduplicates every phase's extraction into the merged
+	// Result.Graph, so EdgesExtracted reports unique edges across the whole
+	// ladder (a reverted phase's extraction still counts — the cost was
+	// paid).
+	union := seqgraph.New()
+	res := &sched.Result{Target: map[netlist.CellID]float64{}, Graph: union}
+	addGraph := func(g *seqgraph.Graph) int {
+		added := 0
+		for i := range g.Edges {
+			if _, isNew := union.AddSeqEdge(g.Edges[i].Seq, isPort); isNew {
+				added++
+			}
+		}
+		return added
+	}
+
+	curWNS, curTNS := tm.WNSTNS(mode)
+	clean := func(tns float64) bool { return tns >= -eps }
+
+	// warm chains extraction state between core slices, seeded from the
+	// caller's donor run (if any) exactly as a single core run would be.
+	warm := opts.Warm
+	usedRounds := 0    // global round counter: budget, renumbering offset
+	lbApplied := false // Eq-5 lower bounds are pre-applied exactly once
+
+	emitPhase := func(ph sched.Phase) {
+		res.Phases = append(res.Phases, ph)
+		rec.Add(obs.CtrAdaptivePhases, 1)
+		if ph.Reverted {
+			rec.Add(obs.CtrAdaptiveReverts, 1)
+		}
+		if rec != nil {
+			rec.Emit(obs.Event{
+				Type: "phase", Req: req, Algo: "adaptive", Method: ph.Scheduler,
+				Phase: ph.Name, Mode: mode.String(),
+				Round: usedRounds, WNS: ph.WNS, TNS: ph.TNS,
+				NewEdges: ph.EdgesExtracted, Raised: ph.Rounds,
+				ElapsedMS: float64(time.Since(start).Nanoseconds()) / 1e6,
+			})
+		}
+		reverted := ""
+		if ph.Reverted {
+			reverted = " [reverted]"
+		}
+		logf("adaptive[%v] phase %s (%s): %d rounds, +%d edges, wns=%.2f tns=%.2f gain=%.3f stop=%s%s",
+			mode, ph.Name, ph.Scheduler, ph.Rounds, ph.EdgesExtracted,
+			ph.WNS, ph.TNS, ph.GainTNS, ph.StopReason, reverted)
+	}
+
+	// phaseOpts derives one rung's options from the caller's: same mode,
+	// margin, bounds, cancellation and recorder; its own round budget and
+	// stall guard; Progress renumbered by the global round offset.
+	phaseOpts := func(maxRounds, stallRounds int) sched.Options {
+		po := opts
+		po.MaxRounds = maxRounds
+		po.StallRounds = stallRounds
+		po.Recorder = rec
+		po.Warm = warm
+		po.CollectWarm = true
+		po.LatencyLB = nil
+		if !lbApplied {
+			po.LatencyLB = opts.LatencyLB
+		}
+		po.Progress = nil
+		if opts.Progress != nil {
+			off := usedRounds
+			up := opts.Progress
+			po.Progress = func(st sched.IterStats) {
+				st.Round += off
+				up(st)
+			}
+		}
+		return po
+	}
+
+	finish := func(reason sched.StopReason) (*sched.Result, error) {
+		res.StopReason = reason
+		res.EdgesExtracted = len(union.Edges)
+		// Mirror the frozen cycle cells onto the merged graph so inspection
+		// sees the same invariants the phases enforced.
+		for _, fx := range res.CycleFixes {
+			for _, c := range fx.Cells {
+				if !isPort(c) {
+					union.Freeze(union.Vertex(c, false))
+				}
+			}
+		}
+		if opts.CollectWarm {
+			res.Warm = warm
+		}
+		res.Elapsed = time.Since(start)
+		logf("adaptive[%v] done: %d phases, %d rounds, %d unique edges, wns=%.2f tns=%.2f, stop=%s",
+			mode, len(res.Phases), res.Rounds, res.EdgesExtracted, curWNS, curTNS, reason)
+		runSp.EndArg2("phases", int64(len(res.Phases)), "rounds", int64(res.Rounds))
+		return res, nil
+	}
+
+	if r, stop := cc.Reason(); stop {
+		logf("adaptive[%v] stopping before any phase: %s", mode, r)
+		return finish(r)
+	}
+	if clean(curTNS) {
+		logf("adaptive[%v] timing already clean (tns=%.2f) — no phases needed", mode, curTNS)
+		return finish(sched.StopConverged)
+	}
+
+	// Rung 1 — FPM: worth its full-graph extraction only when the violation
+	// profile is dense (the predictive pass then amortizes over most of the
+	// graph). Early mode only: FPM is a hold-fixing pass by construction.
+	if mode == timing.Early && !cfg.DisableFPM {
+		viol := len(tm.ViolatedEndpoints(timing.Early, nil))
+		total := len(tm.Endpoints())
+		if float64(viol) >= cfg.DenseFrac*float64(total) {
+			po := phaseOpts(0, 0)
+			po.Warm, po.CollectWarm = nil, false
+			pstart := time.Now()
+			prevTNS := curTNS
+			fres, err := fpm.Schedule(tm, po)
+			if err != nil {
+				return nil, err
+			}
+			for c, l := range fres.Target {
+				if l > 0 {
+					res.Target[c] += l
+				}
+			}
+			added := addGraph(fres.Graph)
+			curWNS, curTNS = tm.WNSTNS(mode)
+			res.PerIter = append(res.PerIter, sched.IterStats{
+				Round: usedRounds, WNS: curWNS, TNS: curTNS,
+				NewEdges: added, Raised: len(fres.Target),
+			})
+			usedRounds++ // the one-shot pass occupies one meta round
+			res.Rounds++
+			emitPhase(sched.Phase{
+				Name: "fpm", Scheduler: "fpm", Rounds: 1, EdgesExtracted: added,
+				StopReason: fres.StopReason, WNS: curWNS, TNS: curTNS,
+				GainTNS: curTNS - prevTNS, Elapsed: time.Since(pstart),
+			})
+			if fres.StopReason.Interrupted() {
+				return finish(fres.StopReason)
+			}
+			if clean(curTNS) {
+				return finish(sched.StopConverged)
+			}
+			// Warm-start the core rungs from FPM's active band only —
+			// violating and just-zeroed edges. Dragging the whole early graph
+			// into core's per-round weight sweep would forfeit the iterative
+			// algorithm's entire advantage.
+			w := &sched.Warm{Extracted: map[timing.EndpointID]float64{}}
+			for i := range fres.Graph.Edges {
+				se := fres.Graph.Edges[i].Seq
+				if tm.EdgeSlack(se) < opts.Margin+eps {
+					w.Edges = append(w.Edges, se)
+				}
+			}
+			warm = w
+		} else {
+			logf("adaptive[%v] fpm rung skipped: %d/%d endpoints violated, below dense threshold %.0f%%",
+				mode, viol, total, cfg.DenseFrac*100)
+		}
+	}
+
+	// runCore executes one warm-chained core slice and merges its result.
+	runCore := func(name string, maxRounds, stallRounds int) (*sched.Result, *sched.Phase, error) {
+		po := phaseOpts(maxRounds, stallRounds)
+		pstart := time.Now()
+		prevTNS := curTNS
+		warmN := 0
+		if warm != nil {
+			warmN = len(warm.Edges)
+		}
+		cres, err := core.Schedule(tm, po)
+		if err != nil {
+			return nil, nil, err
+		}
+		lbApplied = true
+		for c, l := range cres.Target {
+			if l > 0 {
+				res.Target[c] += l
+			}
+		}
+		res.Cycles += cres.Cycles
+		res.CycleFixes = append(res.CycleFixes, cres.CycleFixes...)
+		for _, st := range cres.PerIter {
+			st.Round += usedRounds
+			res.PerIter = append(res.PerIter, st)
+		}
+		addGraph(cres.Graph)
+		usedRounds += cres.Rounds
+		res.Rounds += cres.Rounds
+		warm = cres.Warm
+		curWNS, curTNS = tm.WNSTNS(mode)
+		ph := sched.Phase{
+			Name: name, Scheduler: "core", Rounds: cres.Rounds,
+			EdgesExtracted: cres.EdgesExtracted - warmN,
+			StopReason:     cres.StopReason, WNS: curWNS, TNS: curTNS,
+			GainTNS: curTNS - prevTNS, Elapsed: time.Since(pstart),
+		}
+		emitPhase(ph)
+		return cres, &ph, nil
+	}
+
+	// runICCSS is the last-resort rung: exhaustive extraction, with the
+	// earlier phases' frozen cycle cells pinned through LatencyUB (iccss
+	// does not consume Warm) so their Eq-9 invariants survive, and a
+	// roll-back if the rung regresses TNS.
+	runICCSS := func() (sched.StopReason, error) {
+		po := phaseOpts(budget-usedRounds, userStall)
+		po.Warm, po.CollectWarm = nil, false
+		pinned := map[netlist.CellID]bool{}
+		if warm != nil {
+			for _, c := range warm.Frozen {
+				pinned[c] = true
+			}
+		}
+		userUB := opts.LatencyUB
+		po.LatencyUB = func(c netlist.CellID) float64 {
+			if pinned[c] {
+				return 0
+			}
+			if userUB != nil {
+				return userUB(c)
+			}
+			return math.Inf(1)
+		}
+		// Capture the rung's trajectory for the merged PerIter (iccss fills
+		// Progress but not PerIter). The user shim from phaseOpts already
+		// renumbers, so it gets the raw stats; the PerIter copy is shifted
+		// here.
+		userShim := po.Progress
+		off := usedRounds
+		po.Progress = func(st sched.IterStats) {
+			rst := st
+			rst.Round += off
+			res.PerIter = append(res.PerIter, rst)
+			if userShim != nil {
+				userShim(st)
+			}
+		}
+		pstart := time.Now()
+		prevTNS := curTNS
+		ires, err := iccss.Schedule(tm, po)
+		if err != nil {
+			return 0, err
+		}
+		added := addGraph(ires.Graph)
+		usedRounds += ires.Rounds
+		res.Rounds += ires.Rounds
+		curWNS, curTNS = tm.WNSTNS(mode)
+		ph := sched.Phase{
+			Name: "iccss+", Scheduler: "iccss", Rounds: ires.Rounds,
+			EdgesExtracted: added, StopReason: ires.StopReason,
+			WNS: curWNS, TNS: curTNS, GainTNS: curTNS - prevTNS,
+			Elapsed: time.Since(pstart),
+		}
+		if ph.GainTNS < -eps {
+			// The exhaustive rung made things worse: roll its latencies back.
+			// Its extraction cost stays on the books; its cycle fixes are
+			// dropped with its latencies.
+			for c, l := range ires.Target {
+				if l != 0 {
+					tm.AddExtraLatency(c, -l)
+				}
+			}
+			tm.Update()
+			curWNS, curTNS = tm.WNSTNS(mode)
+			ph.Reverted = true
+			ph.WNS, ph.TNS = curWNS, curTNS
+			logf("adaptive[%v] iccss+ rung regressed tns by %.3f — rolled back", mode, -ph.GainTNS)
+		} else {
+			for c, l := range ires.Target {
+				if l > 0 {
+					res.Target[c] += l
+				}
+			}
+			res.Cycles += ires.Cycles
+			res.CycleFixes = append(res.CycleFixes, ires.CycleFixes...)
+		}
+		emitPhase(ph)
+		if ires.StopReason.Interrupted() {
+			return ires.StopReason, nil
+		}
+		if ph.Reverted {
+			return sched.StopStalled, nil
+		}
+		return ires.StopReason, nil
+	}
+
+	// Rungs 2–3 — warm-chained core slices, probes first. Between slices
+	// the plateau rule decides: keep climbing, stop as stalled, or escalate.
+	probes := 0
+	for {
+		if r, stop := cc.Reason(); stop {
+			return finish(r)
+		}
+		if usedRounds >= budget {
+			logf("adaptive[%v] round budget exhausted (MaxRounds=%d)", mode, budget)
+			return finish(sched.StopRoundCap)
+		}
+		var name string
+		var sliceMax, sliceStall int
+		if probes < cfg.MaxProbes {
+			name, sliceMax, sliceStall = "ours-early", cfg.ProbeRounds, probeStall
+			probes++
+		} else {
+			name, sliceMax, sliceStall = "ours", cfg.SliceRounds, userStall
+		}
+		if left := budget - usedRounds; sliceMax > left {
+			sliceMax = left
+		}
+		cres, ph, err := runCore(name, sliceMax, sliceStall)
+		if err != nil {
+			return nil, err
+		}
+		if cres.StopReason == sched.StopConverged {
+			return finish(sched.StopConverged)
+		}
+		if cres.StopReason.Interrupted() {
+			return finish(cres.StopReason)
+		}
+		if clean(curTNS) {
+			return finish(sched.StopConverged)
+		}
+		// The slice stalled or hit its cap: consult the plateau rule.
+		rounds := cres.Rounds
+		if rounds < 1 {
+			rounds = 1
+		}
+		perRound := ph.GainTNS / float64(rounds)
+		bar := math.Max(cfg.PlateauAbs, cfg.PlateauFrac*math.Abs(curTNS))
+		if cfg.PlateauFrac < 0 || perRound >= bar {
+			continue // still earning its rounds: next slice
+		}
+		if !cfg.DisableICCSS && cres.StopReason == sched.StopStalled && perRound < cfg.PlateauAbs {
+			// Dead-stalled with violations left: one escalation to the
+			// exhaustive baseline, guarded by the roll-back above.
+			rec.Add(obs.CtrAdaptiveEscalations, 1)
+			logf("adaptive[%v] escalating to iccss+: core dead-stalled (gain %.3f/round) with tns=%.2f",
+				mode, perRound, curTNS)
+			r, err := runICCSS()
+			if err != nil {
+				return nil, err
+			}
+			return finish(r)
+		}
+		logf("adaptive[%v] plateau: %s gained %.3f/round < bar %.3f — stopping",
+			mode, name, perRound, bar)
+		return finish(sched.StopStalled)
+	}
+}

@@ -1,0 +1,226 @@
+package adaptive
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"iterskew/internal/bench"
+	"iterskew/internal/delay"
+	"iterskew/internal/netlist"
+	"iterskew/internal/obs"
+	"iterskew/internal/sched"
+	"iterskew/internal/timing"
+)
+
+func genDesign(t *testing.T, scale float64, seed int64) *netlist.Design {
+	t.Helper()
+	p, err := bench.Superblue("superblue18", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Seed += seed
+	d, err := bench.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func newTimer(t *testing.T, d *netlist.Design) *timing.Timer {
+	t.Helper()
+	tm, err := timing.New(d, delay.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+// stallDesign is the dead-stall fixture: seed offset 404 of the scaled
+// superblue18 profile enters a crawl region where a StallRounds=2 guard
+// trips with violations left — the scenario the escalation rung exists for.
+func stallDesign(t *testing.T) *netlist.Design { return genDesign(t, 0.01, 404) }
+
+// TestForcedEscalationAndRevertGuarantee pushes the meta-policy into the
+// iccss+ rung by making the plateau bar unreachable and the probe stall
+// guard hair-triggered, then asserts the escalation contract: the rung runs
+// at most once, its counters fire, and — reverted or not — the final TNS is
+// never worse than it was when core stalled.
+func TestForcedEscalationAndRevertGuarantee(t *testing.T) {
+	tm := newTimer(t, stallDesign(t))
+	rec := obs.NewRecorder()
+	s := New(Config{
+		ProbeRounds: 50, ProbeStall: 2, MaxProbes: 1,
+		PlateauAbs: 1e18, PlateauFrac: 1e18,
+	})
+	res, err := s.Schedule(tm, sched.Options{Mode: timing.Late, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Counter(obs.CtrAdaptiveEscalations) != 1 {
+		t.Fatalf("escalations counter = %d, want 1", rec.Counter(obs.CtrAdaptiveEscalations))
+	}
+	last := res.Phases[len(res.Phases)-1]
+	if last.Name != "iccss+" || last.Scheduler != "iccss" {
+		t.Fatalf("last phase = %s (%s), want iccss+ (iccss)", last.Name, last.Scheduler)
+	}
+	if rec.Counter(obs.CtrAdaptivePhases) != int64(len(res.Phases)) {
+		t.Fatalf("phases counter %d != %d phases", rec.Counter(obs.CtrAdaptivePhases), len(res.Phases))
+	}
+	// The revert guarantee: the escalation phase may only improve TNS.
+	preTNS := res.Phases[len(res.Phases)-2].TNS
+	if last.Reverted {
+		if rec.Counter(obs.CtrAdaptiveReverts) != 1 {
+			t.Fatalf("reverted phase but reverts counter = %d", rec.Counter(obs.CtrAdaptiveReverts))
+		}
+		if math.Abs(last.TNS-preTNS) > 1e-6 {
+			t.Fatalf("reverted phase moved TNS: %.6f vs pre-escalation %.6f", last.TNS, preTNS)
+		}
+	} else if last.TNS < preTNS-1e-6 {
+		t.Fatalf("kept escalation regressed TNS: %.6f vs pre-escalation %.6f", last.TNS, preTNS)
+	}
+	_, tns := tm.WNSTNS(timing.Late)
+	if math.Abs(tns-last.TNS) > 1e-6 {
+		t.Fatalf("timer TNS %.6f disagrees with last phase TNS %.6f", tns, last.TNS)
+	}
+}
+
+// TestDisabledEscalationStops verifies the same dead-stall with the top rung
+// cut ends the run as StopStalled instead of escalating.
+func TestDisabledEscalationStops(t *testing.T) {
+	tm := newTimer(t, stallDesign(t))
+	rec := obs.NewRecorder()
+	s := New(Config{
+		ProbeRounds: 50, ProbeStall: 2, MaxProbes: 1,
+		PlateauAbs: 1e18, PlateauFrac: 1e18, DisableICCSS: true,
+	})
+	res, err := s.Schedule(tm, sched.Options{Mode: timing.Late, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != sched.StopStalled {
+		t.Fatalf("stop = %s, want stalled", res.StopReason)
+	}
+	if rec.Counter(obs.CtrAdaptiveEscalations) != 0 {
+		t.Fatalf("escalations counter = %d with the rung disabled", rec.Counter(obs.CtrAdaptiveEscalations))
+	}
+	for _, ph := range res.Phases {
+		if ph.Scheduler == "iccss" {
+			t.Fatalf("iccss phase ran despite DisableICCSS")
+		}
+	}
+}
+
+// TestRoundRenumbering runs a deliberately many-phased ladder and checks the
+// global trajectory: Progress rounds strictly increase by one across phase
+// boundaries, PerIter mirrors the same sequence, and the phase round counts
+// sum to the merged total.
+func TestRoundRenumbering(t *testing.T) {
+	tm := newTimer(t, genDesign(t, 0.01, 202))
+	var rounds []int
+	// PlateauFrac<0 disables the plateau rule so the short slices keep
+	// chaining until convergence — maximum phase boundaries to renumber
+	// across.
+	s := New(Config{ProbeRounds: 3, MaxProbes: 2, SliceRounds: 5, PlateauFrac: -1})
+	res, err := s.Schedule(tm, sched.Options{
+		Mode: timing.Late,
+		Progress: func(st sched.IterStats) {
+			rounds = append(rounds, st.Round)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) < 2 {
+		t.Fatalf("fixture produced %d phases, want ≥2 to exercise renumbering", len(res.Phases))
+	}
+	if len(rounds) != res.Rounds {
+		t.Fatalf("Progress fired %d times for %d rounds", len(rounds), res.Rounds)
+	}
+	for i, r := range rounds {
+		if r != i {
+			t.Fatalf("Progress round %d at position %d (rounds=%v)", r, i, rounds)
+		}
+	}
+	if len(res.PerIter) != res.Rounds {
+		t.Fatalf("PerIter has %d entries for %d rounds", len(res.PerIter), res.Rounds)
+	}
+	for i, st := range res.PerIter {
+		if st.Round != i {
+			t.Fatalf("PerIter round %d at position %d", st.Round, i)
+		}
+	}
+	sum := 0
+	for _, ph := range res.Phases {
+		sum += ph.Rounds
+	}
+	if sum != res.Rounds {
+		t.Fatalf("phase rounds sum %d != %d", sum, res.Rounds)
+	}
+}
+
+// TestFPMGate checks both sides of the density gate in Early mode: on the
+// sparse superblue profile the default config skips the fpm rung, while
+// DenseFrac<0 forces it and the ladder continues from its warm band.
+func TestFPMGate(t *testing.T) {
+	d := genDesign(t, 0.01, 0)
+
+	res, err := New(Config{}).Schedule(newTimer(t, d.Clone()), sched.Options{Mode: timing.Early})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) == 0 || res.Phases[0].Name == "fpm" {
+		t.Fatalf("sparse profile took the fpm rung: %+v", res.Phases)
+	}
+	sparseTNS := res.Phases[len(res.Phases)-1].TNS
+
+	var log strings.Builder
+	tm := newTimer(t, d.Clone())
+	fres, err := New(Config{DenseFrac: -1}).Schedule(tm, sched.Options{Mode: timing.Early, Log: &log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fres.Phases) == 0 || fres.Phases[0].Name != "fpm" {
+		t.Fatalf("DenseFrac<0 did not take the fpm rung: %+v", fres.Phases)
+	}
+	if fres.Phases[0].Rounds != 1 {
+		t.Fatalf("fpm phase counts %d rounds, want 1", fres.Phases[0].Rounds)
+	}
+	if !strings.Contains(log.String(), "phase fpm") {
+		t.Fatalf("log missing fpm phase line:\n%s", log.String())
+	}
+	// Whatever route the ladder takes, final quality must be comparable.
+	final := fres.Phases[len(fres.Phases)-1].TNS
+	if final < sparseTNS-math.Max(1, 0.015*math.Abs(sparseTNS)) {
+		t.Fatalf("fpm-first ladder ended at tns %.3f, sparse ladder at %.3f", final, sparseTNS)
+	}
+}
+
+// TestCleanAndCancelled covers the no-work early-outs: an already-clean
+// objective returns converged with zero phases, and a pre-cancelled context
+// returns its stop reason without running any phase.
+func TestCleanAndCancelled(t *testing.T) {
+	d := genDesign(t, 0.01, 0)
+	tm := newTimer(t, d.Clone())
+	tm.SetPeriod(tm.Period() * 100)
+	tm.FullUpdate()
+	res, err := Schedule(tm, sched.Options{Mode: timing.Late})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != sched.StopConverged || len(res.Phases) != 0 || res.Rounds != 0 {
+		t.Fatalf("clean design: stop=%s phases=%d rounds=%d", res.StopReason, len(res.Phases), res.Rounds)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tm = newTimer(t, d.Clone())
+	res, err = Schedule(tm, sched.Options{Mode: timing.Late, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != sched.StopCancelled || len(res.Phases) != 0 {
+		t.Fatalf("cancelled: stop=%s phases=%d", res.StopReason, len(res.Phases))
+	}
+}

@@ -150,51 +150,6 @@ func TestWorkersOptionRestored(t *testing.T) {
 	}
 }
 
-// TestStallTrackerCycleThenPlateau is the regression for the stale-baseline
-// bug: cycle-freezing rounds used to leave the TNS baseline at its
-// pre-freeze value (the cycle branch continued past the update), so the
-// round after a cycle fix measured a huge spurious gain and wrongly reset
-// the stall counter.
-func TestStallTrackerCycleThenPlateau(t *testing.T) {
-	s := &stallTracker{limit: 2, prev: -1000}
-
-	// Plateau round: gain 0.1 < max(1, 0.1) counts toward the guard.
-	if gain, stop := s.observe(-999.9); stop || gain >= 1 {
-		t.Fatalf("plateau round: gain=%v stop=%v, want sub-threshold, no stop", gain, stop)
-	}
-	if s.count != 1 {
-		t.Fatalf("stall count = %d after one plateau round, want 1", s.count)
-	}
-
-	// Cycle round: Eq-9 freezing jumps TNS to -500. The baseline must
-	// refresh, but structural progress never counts toward the guard.
-	s.observeCycle(-500)
-	if s.count != 1 {
-		t.Fatalf("cycle round changed the stall count: %d", s.count)
-	}
-
-	// Post-cycle plateau: against the refreshed baseline the gain is 0.05;
-	// against the stale pre-freeze baseline it would read +500.05 and reset
-	// the counter instead of tripping the guard.
-	gain, stop := s.observe(-499.95)
-	if gain >= 1 {
-		t.Fatalf("cycle round did not refresh the baseline: post-cycle gain=%v", gain)
-	}
-	if !stop {
-		t.Fatalf("guard did not trip on the post-cycle plateau (count=%d)", s.count)
-	}
-
-	// A disabled guard (negative limit) neither counts nor tracks.
-	d := &stallTracker{limit: -1, prev: 42}
-	if _, stop := d.observe(42); stop || d.count != 0 {
-		t.Error("disabled guard counted a round")
-	}
-	d.observeCycle(7)
-	if d.prev != 42 {
-		t.Error("disabled guard mutated its baseline")
-	}
-}
-
 // TestCycleRoundDoesNotTripGuard: on a pure ring the Eq-9 equalization
 // preserves TNS, so under the tightest guard the cycle round itself must
 // not stop the run — the ring still converges with its cycle frozen.

@@ -60,44 +60,6 @@ func ValidateInput(d *netlist.Design) error { return sched.ValidateInput(d) }
 // for callers (the engine) that dispatch on method dynamically.
 var Scheduler sched.Scheduler = sched.Func(Schedule)
 
-// stallTracker implements the TNS stall guard: a round makes progress when
-// its TNS gain over the previous round's baseline is at least
-// max(1 ps, 0.01%·|TNS|). Cycle-freezing rounds refresh the baseline (Eq-9
-// equalization can redistribute slack without moving TNS, so the following
-// round must not be measured against a stale pre-freeze value) but never
-// count toward the guard — a frozen cycle is structural progress. A
-// non-positive limit disables the guard entirely.
-type stallTracker struct {
-	limit int
-	prev  float64
-	count int
-}
-
-// observe folds one non-cycle round's TNS into the guard, returning the gain
-// over the baseline and whether the guard has tripped.
-func (s *stallTracker) observe(tns float64) (gain float64, stop bool) {
-	if s.limit <= 0 {
-		return math.Inf(1), false
-	}
-	gain = tns - s.prev
-	if gain < math.Max(1, 1e-4*math.Abs(tns)) {
-		s.count++
-	} else {
-		s.count = 0
-	}
-	s.prev = tns
-	return gain, s.count >= s.limit
-}
-
-// observeCycle refreshes the baseline after a cycle-freezing round without
-// counting it.
-func (s *stallTracker) observeCycle(tns float64) {
-	if s.limit <= 0 {
-		return
-	}
-	s.prev = tns
-}
-
 // isPortCell reports whether a cell is an I/O supernode.
 func isPortCell(d *netlist.Design, c netlist.CellID) bool {
 	k := d.Cells[c].Type.Kind
@@ -155,6 +117,23 @@ func Schedule(tm sched.TimingView, opts Options) (*Result, error) {
 	// extraction, so unchanged endpoints are skipped ("newly violated
 	// timing endpoints", §III-B1).
 	lastExtract := map[timing.EndpointID]float64{}
+
+	// Warm start: seed the partial graph, the frozen set and the trace
+	// filter from the donor run, so a chained phase extracts only what the
+	// donor has not already seen. The donor's frozen cells MUST stay frozen
+	// — its CycleFix invariants (edge slack == recorded mean at the end of
+	// the run) would break if a later phase raised a cycle vertex.
+	if opts.Warm != nil {
+		for _, se := range opts.Warm.Edges {
+			g.AddSeqEdge(se, isPort)
+		}
+		for _, cell := range opts.Warm.Frozen {
+			g.Freeze(g.Vertex(cell, isPortCell(d, cell)))
+		}
+		for e, s := range opts.Warm.Extracted {
+			lastExtract[e] = s
+		}
+	}
 
 	var violBuf, traceBuf []timing.EndpointID
 	var edgeBuf []timing.SeqEdge
@@ -244,10 +223,13 @@ func Schedule(tm sched.TimingView, opts Options) (*Result, error) {
 		opts.StallRounds = 3
 	}
 	_, prevTNS := tm.WNSTNS(opts.Mode)
-	stall := &stallTracker{limit: opts.StallRounds, prev: prevTNS}
+	stall := sched.NewStallTracker(opts.StallRounds, prevTNS)
 
 	res.StopReason = sched.StopRoundCap
-	finalSweepDone := false
+	// A warm donor whose final act was a clean forced sweep has already
+	// proven the edge set complete for the current latencies; don't pay for
+	// a second identical sweep. Any increment below resets the flag.
+	finalSweepDone := opts.Warm != nil && opts.Warm.SweepDone
 	for round := 0; round < opts.MaxRounds; round++ {
 		if r, stop := cc.Reason(); stop {
 			res.StopReason = r
@@ -342,9 +324,9 @@ func Schedule(tm sched.TimingView, opts Options) (*Result, error) {
 			// round must measure its gain against the post-freeze state — but
 			// freezing a cycle is structural progress, so the round neither
 			// counts toward nor triggers the guard.
-			stall.observeCycle(st.TNS)
+			stall.ObserveCycle(st.TNS)
 			rec.Instant("css.cycle_frozen", "len", int64(st.CycleLen))
-			emitRound(st, stall.count)
+			emitRound(st, stall.Count())
 			logf("css[%v] round %d: cycle of %d frozen (mean %.3f) wns=%.2f tns=%.2f pins=%d",
 				opts.Mode, round, st.CycleLen, tMean, st.WNS, st.TNS, st.TimerPins)
 			roundSp.EndArg2("round", int64(round), "cycle_len", int64(st.CycleLen))
@@ -382,16 +364,16 @@ func Schedule(tm sched.TimingView, opts Options) (*Result, error) {
 		res.PerIter = append(res.PerIter, st)
 		res.Rounds = round + 1
 
-		gain, stalled := stall.observe(st.TNS)
-		emitRound(st, stall.count)
+		gain, stalled := stall.Observe(st.TNS)
+		emitRound(st, stall.Count())
 		logf("css[%v] round %d: wns=%.2f tns=%.2f edges+%d raised=%d clamped=%d maxInc=%.3f pins=%d gain=%.3f stall=%d/%d",
 			opts.Mode, round, st.WNS, st.TNS, st.NewEdges, st.Raised, st.Clamped,
-			st.MaxInc, st.TimerPins, gain, stall.count, opts.StallRounds)
+			st.MaxInc, st.TimerPins, gain, stall.Count(), opts.StallRounds)
 		roundSp.EndArg2("round", int64(round), "raised", int64(st.Raised))
 		if stalled {
 			res.StopReason = sched.StopStalled
 			logf("css[%v] stall guard: %d consecutive rounds with TNS gain < max(1, 0.01%%·|TNS|) — stopping at round %d (StallRounds=%d)",
-				opts.Mode, stall.count, round, opts.StallRounds)
+				opts.Mode, stall.Count(), round, opts.StallRounds)
 			break
 		}
 
@@ -431,6 +413,22 @@ func Schedule(tm sched.TimingView, opts Options) (*Result, error) {
 	}
 
 	res.EdgesExtracted = len(g.Edges)
+	if opts.CollectWarm {
+		w := &sched.Warm{
+			Edges:     make([]timing.SeqEdge, len(g.Edges)),
+			Extracted: lastExtract,
+			SweepDone: finalSweepDone,
+		}
+		for i := range g.Edges {
+			w.Edges[i] = g.Edges[i].Seq
+		}
+		for v, fr := range g.Frozen {
+			if fr && !g.IsPort[v] {
+				w.Frozen = append(w.Frozen, g.Cells[v])
+			}
+		}
+		res.Warm = w
+	}
 	res.Elapsed = time.Since(start)
 	runSp.EndArg2("rounds", int64(res.Rounds), "edges", int64(res.EdgesExtracted))
 	return res, nil

@@ -16,6 +16,7 @@
 package fpm
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"time"
@@ -30,8 +31,9 @@ import (
 const eps = 1e-6
 
 // Options configures an FPM run: the shared scheduler options. FPM consumes
-// only LatencyUB and Recorder; the remaining fields are ignored (FPM is
-// one-shot and early-only by construction).
+// Context/Deadline, LatencyUB, Recorder, Progress and Log; the remaining
+// fields are ignored (FPM is one-shot and early-only by construction —
+// Progress fires exactly once, with the whole pass as round 0).
 type Options = sched.Options
 
 // Result is the shared scheduler result. FPM fills only Target,
@@ -53,7 +55,13 @@ func Schedule(tm sched.TimingView, opts Options) (*Result, error) {
 	if rec == nil {
 		rec = tm.Recorder()
 	}
-	runSp := rec.StartSpan(obs.SpanSchedule).WithReq(obs.RequestID(opts.Context))
+	req := obs.RequestID(opts.Context)
+	runSp := rec.StartSpan(obs.SpanSchedule).WithReq(req)
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+		}
+	}
 	d := tm.Design()
 	g := seqgraph.New()
 	isPort := func(c netlist.CellID) bool {
@@ -88,10 +96,14 @@ func Schedule(tm sched.TimingView, opts Options) (*Result, error) {
 	if res.StopReason.Interrupted() {
 		// Nothing has been applied to the timer yet, so the empty Target is
 		// trivially consistent.
+		logf("fpm[early] stopping: %s during full-graph extraction (%d edges so far) — nothing applied",
+			res.StopReason, res.EdgesExtracted)
 		res.Elapsed = time.Since(start)
 		runSp.EndArg("edges", int64(res.EdgesExtracted))
 		return res, nil
 	}
+	logf("fpm[early]: full sequential graph extracted: %d edges from %d launches",
+		len(g.Edges), len(launches))
 	gsp := rec.NamedSpan("fpm.greedy")
 
 	// One-time late-slack snapshot bounds the launch raises.
@@ -158,6 +170,7 @@ func Schedule(tm sched.TimingView, opts Options) (*Result, error) {
 	}
 
 	raised := 0
+	maxInc := 0.0
 	for cell, l := range assigned {
 		if l <= eps {
 			continue
@@ -168,10 +181,42 @@ func Schedule(tm sched.TimingView, opts Options) (*Result, error) {
 		tm.AddExtraLatency(cell, l)
 		res.Target[cell] = l
 		raised++
+		if l > maxInc {
+			maxInc = l
+		}
 	}
-	tm.Update()
+	pins := tm.Update()
 	rec.Add(obs.CtrRaised, int64(raised))
 	gsp.EndArg2("violations", int64(len(cands)), "raised", int64(raised))
+
+	// The one-shot pass is the run's single "round": fire the shared
+	// per-round observability exactly once. The WNS/TNS sweep only runs when
+	// someone is listening, so bare runs stay on the old code path.
+	if rec != nil || opts.Progress != nil || opts.Log != nil {
+		wns, tns := tm.WNSTNS(timing.Early)
+		st := sched.IterStats{
+			Round: 0, WNS: wns, TNS: tns, NewEdges: len(g.Edges),
+			Raised: raised, MaxInc: maxInc, TimerPins: pins,
+		}
+		if rec != nil {
+			// CtrRoundEdges was already credited by the extraction sweep.
+			rec.Add(obs.CtrRounds, 1)
+			rec.SetGauge(obs.GaugeGraphVerts, int64(g.NumVertices()))
+			rec.SetGauge(obs.GaugeGraphEdges, int64(len(g.Edges)))
+			rec.Emit(obs.Event{
+				Type: "round", Req: req, Algo: "fpm", Mode: timing.Early.String(),
+				Round: 0, WNS: wns, TNS: tns, NewEdges: len(g.Edges),
+				Raised: raised, MaxInc: maxInc, TimerPins: pins,
+				ElapsedMS: float64(time.Since(start).Nanoseconds()) / 1e6,
+				Corners:   sched.CornerStats(tm, timing.Early),
+			})
+		}
+		if opts.Progress != nil {
+			opts.Progress(st)
+		}
+		logf("fpm[early] converged: one-shot greedy pass over %d violating edges raised %d launches (maxInc=%.3f) wns=%.2f tns=%.2f pins=%d",
+			len(cands), raised, maxInc, wns, tns, pins)
+	}
 
 	res.Elapsed = time.Since(start)
 	runSp.EndArg("edges", int64(res.EdgesExtracted))

@@ -19,6 +19,7 @@
 package iccss
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -33,8 +34,10 @@ import (
 const eps = 1e-6
 
 // Options configures an IC-CSS+ run: the shared scheduler options. IC-CSS+
-// consumes Mode, MaxRounds, LatencyUB, Workers and Recorder; the remaining
-// fields are core-specific and ignored here.
+// consumes Mode, Context/Deadline, MaxRounds, StallRounds, LatencyUB,
+// Workers, Recorder, Progress and Log; the remaining fields (Margin,
+// LatencyLB, DisableHeadroom, Warm/CollectWarm) are core-specific and
+// ignored here.
 type Options = sched.Options
 
 // Result is the shared scheduler result; IC-CSS+ additionally fills
@@ -75,6 +78,11 @@ func Schedule(tm sched.TimingView, opts Options) (*Result, error) {
 		prevWorkers := tm.Workers()
 		tm.SetWorkers(opts.Workers)
 		defer tm.SetWorkers(prevWorkers)
+	}
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+		}
 	}
 	d := tm.Design()
 	g := seqgraph.New()
@@ -275,29 +283,42 @@ func Schedule(tm sched.TimingView, opts Options) (*Result, error) {
 		return h
 	}
 
-	// emitRound folds one finished round into the recorder; the WNS/TNS
-	// sweep only runs when a recorder is installed.
-	emitRound := func(round, newEdges, raised, cycleLen int) {
-		if rec == nil {
-			return
+	// emitRound folds one finished round into the recorder (counters, JSONL
+	// event, live gauges) and fires the Progress callback — same contract as
+	// core's emitRound: the recorder part no-ops without a recorder, Progress
+	// works standalone, and neither allocates when absent.
+	emitRound := func(st sched.IterStats, stallCount int) {
+		if rec != nil {
+			rec.Add(obs.CtrRounds, 1)
+			rec.Add(obs.CtrRoundEdges, int64(st.NewEdges))
+			rec.Add(obs.CtrRaised, int64(st.Raised))
+			if st.CycleLen > 0 {
+				rec.Add(obs.CtrCyclesFrozen, 1)
+			}
+			rec.SetGauge(obs.GaugeGraphVerts, int64(g.NumVertices()))
+			rec.SetGauge(obs.GaugeGraphEdges, int64(len(g.Edges)))
+			rec.Emit(obs.Event{
+				Type: "round", Req: req, Algo: "iccss", Mode: opts.Mode.String(),
+				Round: st.Round, WNS: st.WNS, TNS: st.TNS,
+				NewEdges: st.NewEdges, Raised: st.Raised, CycleLen: st.CycleLen,
+				MaxInc: st.MaxInc, TimerPins: st.TimerPins, Stall: stallCount,
+				ElapsedMS: float64(time.Since(start).Nanoseconds()) / 1e6,
+				Corners:   sched.CornerStats(tm, opts.Mode),
+			})
 		}
-		rec.Add(obs.CtrRounds, 1)
-		rec.Add(obs.CtrRoundEdges, int64(newEdges))
-		rec.Add(obs.CtrRaised, int64(raised))
-		if cycleLen > 0 {
-			rec.Add(obs.CtrCyclesFrozen, 1)
+		if opts.Progress != nil {
+			opts.Progress(st)
 		}
-		rec.SetGauge(obs.GaugeGraphVerts, int64(g.NumVertices()))
-		rec.SetGauge(obs.GaugeGraphEdges, int64(len(g.Edges)))
-		wns, tns := tm.WNSTNS(opts.Mode)
-		rec.Emit(obs.Event{
-			Type: "round", Req: req, Algo: "iccss", Mode: opts.Mode.String(),
-			Round: round, WNS: wns, TNS: tns,
-			NewEdges: newEdges, Raised: raised, CycleLen: cycleLen,
-			ElapsedMS: float64(time.Since(start).Nanoseconds()) / 1e6,
-			Corners:   sched.CornerStats(tm, opts.Mode),
-		})
 	}
+
+	// The shared stall guard (Options.StallRounds): IC-CSS+'s conservative
+	// Eq-8 criticality can leave it crawling by epsilon-sized increments for
+	// many rounds; the guard turns that into an explainable StopStalled.
+	if opts.StallRounds == 0 {
+		opts.StallRounds = 3
+	}
+	_, prevTNS := tm.WNSTNS(opts.Mode)
+	stall := sched.NewStallTracker(opts.StallRounds, prevTNS)
 
 	res.StopReason = sched.StopRoundCap
 	for round := 0; round < opts.MaxRounds; round++ {
@@ -345,6 +366,7 @@ func Schedule(tm sched.TimingView, opts Options) (*Result, error) {
 				}
 			}
 			raised := 0
+			maxInc := 0.0
 			for i, v := range cyc.Vertices {
 				g.Freeze(v)
 				if l := lat[i] - minL; l > eps && !g.IsPort[v] {
@@ -352,11 +374,24 @@ func Schedule(tm sched.TimingView, opts Options) (*Result, error) {
 					tm.AddExtraLatency(cell, l)
 					res.Target[cell] += l
 					raised++
+					if l > maxInc {
+						maxInc = l
+					}
 				}
 			}
-			tm.Update()
+			pins := tm.Update()
 			res.Rounds = round + 1
-			emitRound(round, newEdges, raised, len(cyc.Vertices))
+			wns, tns := tm.WNSTNS(opts.Mode)
+			// Cycle rounds refresh the stall baseline but never count toward
+			// the guard (see sched.StallTracker).
+			stall.ObserveCycle(tns)
+			emitRound(sched.IterStats{
+				Round: round, WNS: wns, TNS: tns, NewEdges: newEdges,
+				Raised: raised, CycleLen: len(cyc.Vertices), MaxInc: maxInc,
+				TimerPins: pins,
+			}, stall.Count())
+			logf("iccss[%v] round %d: cycle of %d frozen (mean %.3f) wns=%.2f tns=%.2f pins=%d",
+				opts.Mode, round, len(cyc.Vertices), tMean, wns, tns, pins)
 			roundSp.EndArg2("round", int64(round), "cycle_len", int64(len(cyc.Vertices)))
 			continue
 		}
@@ -411,13 +446,28 @@ func Schedule(tm sched.TimingView, opts Options) (*Result, error) {
 				maxInc = l
 			}
 		}
-		tm.Update()
+		pins := tm.Update()
 		res.Rounds = round + 1
-		emitRound(round, newEdges, raised, 0)
+		wns, tns := tm.WNSTNS(opts.Mode)
+		gain, stalled := stall.Observe(tns)
+		emitRound(sched.IterStats{
+			Round: round, WNS: wns, TNS: tns, NewEdges: newEdges,
+			Raised: raised, MaxInc: maxInc, TimerPins: pins,
+		}, stall.Count())
+		logf("iccss[%v] round %d: wns=%.2f tns=%.2f edges+%d raised=%d maxInc=%.3f pins=%d gain=%.3f stall=%d/%d",
+			opts.Mode, round, wns, tns, newEdges, raised, maxInc, pins, gain, stall.Count(), opts.StallRounds)
 		roundSp.EndArg2("round", int64(round), "raised", int64(raised))
 
 		if maxInc <= eps && newEdges == 0 && constraintAdded == 0 {
 			res.StopReason = sched.StopConverged
+			logf("iccss[%v] converged: no increments, no new critical or constraint edges — stopping at round %d",
+				opts.Mode, round)
+			break
+		}
+		if stalled {
+			res.StopReason = sched.StopStalled
+			logf("iccss[%v] stall guard: %d consecutive rounds with TNS gain < max(1, 0.01%%·|TNS|) — stopping at round %d (StallRounds=%d)",
+				opts.Mode, stall.Count(), round, opts.StallRounds)
 			break
 		}
 	}
@@ -426,6 +476,10 @@ func Schedule(tm sched.TimingView, opts Options) (*Result, error) {
 		// Target matches the timer state (see core.Schedule).
 		tm.SetCheck(nil)
 		tm.Update()
+		logf("iccss[%v] stopping: %s after round %d — returning consistent partial result",
+			opts.Mode, res.StopReason, res.Rounds)
+	} else if res.StopReason == sched.StopRoundCap {
+		logf("iccss[%v] stopping: round cap reached (MaxRounds=%d)", opts.Mode, opts.MaxRounds)
 	}
 
 	res.EdgesExtracted = len(g.Edges)

@@ -71,6 +71,11 @@ const (
 	CtrServeCancelled // jobs stopped early by client disconnect or timeout
 	CtrServeStreams   // jobs that streamed round progress as JSONL
 
+	// Adaptive meta-scheduler (internal/adaptive).
+	CtrAdaptivePhases      // ladder phases executed
+	CtrAdaptiveEscalations // escalations to the IC-CSS+ rung
+	CtrAdaptiveReverts     // phases rolled back for regressing TNS
+
 	numCounters
 )
 
@@ -99,6 +104,10 @@ var counterNames = [numCounters]string{
 	CtrServeRejected:    "serve_rejected",
 	CtrServeCancelled:   "serve_cancelled",
 	CtrServeStreams:     "serve_streams",
+
+	CtrAdaptivePhases:      "adaptive_phases",
+	CtrAdaptiveEscalations: "adaptive_escalations",
+	CtrAdaptiveReverts:     "adaptive_reverts",
 }
 
 // String returns the counter's snake_case name (also its expvar key).
@@ -109,20 +118,20 @@ type Gauge int
 
 // The gauge set.
 const (
-	GaugeWorkers     Gauge = iota // configured worker-pool width
-	GaugeGraphVerts               // partial sequential graph vertex count
-	GaugeGraphEdges               // partial sequential graph edge count
-	GaugeCacheBytes               // resident compiled-graph cache footprint
-	GaugeCacheGraphs              // resident compiled-graph count
-	GaugeServeInFlight            // admitted service requests currently running
+	GaugeWorkers       Gauge = iota // configured worker-pool width
+	GaugeGraphVerts                 // partial sequential graph vertex count
+	GaugeGraphEdges                 // partial sequential graph edge count
+	GaugeCacheBytes                 // resident compiled-graph cache footprint
+	GaugeCacheGraphs                // resident compiled-graph count
+	GaugeServeInFlight              // admitted service requests currently running
 
 	numGauges
 )
 
 var gaugeNames = [numGauges]string{
-	GaugeWorkers:     "workers",
-	GaugeGraphVerts:  "graph_verts",
-	GaugeGraphEdges:  "graph_edges",
+	GaugeWorkers:       "workers",
+	GaugeGraphVerts:    "graph_verts",
+	GaugeGraphEdges:    "graph_edges",
 	GaugeCacheBytes:    "cache_bytes",
 	GaugeCacheGraphs:   "cache_graphs",
 	GaugeServeInFlight: "serve_in_flight",

@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"iterskew/internal/netlist"
@@ -88,10 +89,11 @@ func validateShape(d *netlist.Design) error {
 	return nil
 }
 
-// Options configures one scheduling run. It is the union of what the three
+// Options configures one scheduling run. It is the union of what the
 // schedulers accept; fields irrelevant to a given implementation are ignored
-// (fpm uses only LatencyUB and Recorder, iccss additionally Mode, MaxRounds
-// and Workers).
+// (see DESIGN.md's per-scheduler consumption table). The observability trio
+// — Progress, Log, Recorder — and the Context/Deadline cancellation pair are
+// honored by every scheduler; StallRounds by every iterative one.
 type Options struct {
 	// Mode selects which violation type this run optimizes (the paper's flow
 	// runs Early first, then Late; §V).
@@ -155,7 +157,88 @@ type Options struct {
 	// an explanation line for every termination decision (stall guard,
 	// convergence, round cap), so StallRounds stops are explainable.
 	Log io.Writer
+	// Warm, when non-nil, seeds the run's extraction state from a donor run
+	// (consumed by core): the donor's essential edges enter the partial graph
+	// before round 0, its frozen cycle cells stay frozen, and its
+	// endpoint-trace filter carries over, so a chained phase re-traces only
+	// endpoints whose slack moved since the donor last looked. The adaptive
+	// meta-scheduler uses this to hand the edge set from phase to phase
+	// instead of re-extracting from scratch.
+	Warm *Warm
+	// CollectWarm asks the scheduler to fill Result.Warm with the run's final
+	// extraction state so a follow-up run can warm-start from it.
+	CollectWarm bool
 }
+
+// Warm is the extraction state handed from one scheduling run to the next
+// (Options.Warm in, Result.Warm out).
+type Warm struct {
+	// Edges is the donor's essential-edge set (deduplicated).
+	Edges []timing.SeqEdge
+	// Frozen lists the non-port cells frozen by the donor's Eq-9 cycle
+	// fixes. A warmed run must keep them frozen: raising one would break the
+	// donor's recorded CycleFix invariant (every cycle edge's slack equals
+	// the recorded mean at the end of the overall run).
+	Frozen []netlist.CellID
+	// Extracted maps each endpoint the donor traced to its slack at trace
+	// time — the "newly violated" filter state of §III-B1, so a warmed run
+	// skips endpoints whose slack has not moved since.
+	Extracted map[timing.EndpointID]float64
+	// SweepDone is true when the donor's last act was a clean forced
+	// extraction sweep (no latency change since). A warmed run may then
+	// trust that sweep instead of re-tracing every violating endpoint's
+	// cone before declaring convergence; any increment it applies
+	// invalidates the flag again, exactly as within a single run.
+	SweepDone bool
+}
+
+// StallTracker implements the Options.StallRounds semantics shared by core,
+// iccss and the adaptive meta-scheduler: a round makes progress when its TNS
+// gain over the previous round's baseline is at least max(1 ps, 0.01%·|TNS|).
+// Cycle-freezing rounds refresh the baseline (Eq-9 equalization can
+// redistribute slack without moving TNS, so the following round must not be
+// measured against a stale pre-freeze value) but never count toward the
+// guard — a frozen cycle is structural progress. A non-positive limit
+// disables the guard entirely.
+type StallTracker struct {
+	limit int
+	prev  float64
+	count int
+}
+
+// NewStallTracker builds a tracker with the given consecutive-round limit
+// and the TNS baseline observed before the first round.
+func NewStallTracker(limit int, baselineTNS float64) *StallTracker {
+	return &StallTracker{limit: limit, prev: baselineTNS}
+}
+
+// Observe folds one non-cycle round's TNS into the guard, returning the gain
+// over the baseline and whether the guard has tripped.
+func (s *StallTracker) Observe(tns float64) (gain float64, stop bool) {
+	if s.limit <= 0 {
+		return math.Inf(1), false
+	}
+	gain = tns - s.prev
+	if gain < math.Max(1, 1e-4*math.Abs(tns)) {
+		s.count++
+	} else {
+		s.count = 0
+	}
+	s.prev = tns
+	return gain, s.count >= s.limit
+}
+
+// ObserveCycle refreshes the baseline after a cycle-freezing round without
+// counting it.
+func (s *StallTracker) ObserveCycle(tns float64) {
+	if s.limit <= 0 {
+		return
+	}
+	s.prev = tns
+}
+
+// Count reports the current consecutive low-gain round count.
+func (s *StallTracker) Count() int { return s.count }
 
 // StopReason classifies why a scheduling run ended. The zero value is
 // StopConverged, matching the schedulers that terminate only by reaching
@@ -303,13 +386,49 @@ type Result struct {
 	CriticalVerts int
 	// ConstraintExts counts constraint-edge callback invocations (iccss).
 	ConstraintExts int
-	// PerIter is the per-round trajectory (core scheduler only).
+	// PerIter is the per-round trajectory (core and adaptive schedulers).
 	PerIter []IterStats
 	// Elapsed is the wall-clock scheduling time.
 	Elapsed time.Duration
 	// Graph is the final partial sequential graph (exposed for inspection
 	// and tests).
 	Graph *seqgraph.Graph
+	// Warm is the run's final extraction state, filled when
+	// Options.CollectWarm is set (core scheduler).
+	Warm *Warm
+	// Phases is the per-phase breakdown of a meta-scheduling run (adaptive
+	// scheduler only); base schedulers leave it nil.
+	Phases []Phase
+}
+
+// Phase records one rung of a meta-scheduling run: which scheduler ran,
+// what it cost, and what the meta-policy observed when deciding what to do
+// next. Round numbers in the merged Result.PerIter are globally renumbered,
+// so Rounds here is the phase's own count.
+type Phase struct {
+	// Name is the ladder rung: "fpm", "ours-early", "ours", "iccss+".
+	Name string
+	// Scheduler is the underlying implementation: "fpm", "core", "iccss".
+	Scheduler string
+	// Rounds is the number of rounds the phase executed (1 for fpm's
+	// one-shot pass).
+	Rounds int
+	// EdgesExtracted is the number of NEW unique sequential edges this phase
+	// added beyond its warm-start seed.
+	EdgesExtracted int
+	// StopReason is the phase's own termination cause.
+	StopReason StopReason
+	// WNS/TNS are the mode-specific worst/total negative slack after the
+	// phase.
+	WNS, TNS float64
+	// GainTNS is the TNS improvement the phase delivered (TNS after minus
+	// TNS before; positive is better).
+	GainTNS float64
+	// Reverted reports that the meta-policy rolled the phase's latencies
+	// back because it regressed TNS; its extraction cost still counts.
+	Reverted bool
+	// Elapsed is the phase's wall-clock time.
+	Elapsed time.Duration
 }
 
 // TimingView is the slack/extract/apply-latency surface the schedulers

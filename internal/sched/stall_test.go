@@ -1,0 +1,48 @@
+package sched
+
+import "testing"
+
+// TestStallTrackerCycleThenPlateau is the regression for the stale-baseline
+// bug: cycle-freezing rounds used to leave the TNS baseline at its
+// pre-freeze value (the cycle branch continued past the update), so the
+// round after a cycle fix measured a huge spurious gain and wrongly reset
+// the stall counter.
+func TestStallTrackerCycleThenPlateau(t *testing.T) {
+	s := NewStallTracker(2, -1000)
+
+	// Plateau round: gain 0.1 < max(1, 0.1) counts toward the guard.
+	if gain, stop := s.Observe(-999.9); stop || gain >= 1 {
+		t.Fatalf("plateau round: gain=%v stop=%v, want sub-threshold, no stop", gain, stop)
+	}
+	if s.Count() != 1 {
+		t.Fatalf("stall count = %d after one plateau round, want 1", s.Count())
+	}
+
+	// Cycle round: Eq-9 freezing jumps TNS to -500. The baseline must
+	// refresh, but structural progress never counts toward the guard.
+	s.ObserveCycle(-500)
+	if s.Count() != 1 {
+		t.Fatalf("cycle round changed the stall count: %d", s.Count())
+	}
+
+	// Post-cycle plateau: against the refreshed baseline the gain is 0.05;
+	// against the stale pre-freeze baseline it would read +500.05 and reset
+	// the counter instead of tripping the guard.
+	gain, stop := s.Observe(-499.95)
+	if gain >= 1 {
+		t.Fatalf("cycle round did not refresh the baseline: post-cycle gain=%v", gain)
+	}
+	if !stop {
+		t.Fatalf("guard did not trip on the post-cycle plateau (count=%d)", s.Count())
+	}
+
+	// A disabled guard (negative limit) neither counts nor tracks.
+	d := NewStallTracker(-1, 42)
+	if _, stop := d.Observe(42); stop || d.Count() != 0 {
+		t.Error("disabled guard counted a round")
+	}
+	d.ObserveCycle(7)
+	if d.prev != 42 {
+		t.Error("disabled guard mutated its baseline")
+	}
+}

@@ -1,0 +1,165 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"iterskew/internal/adaptive"
+	"iterskew/internal/sched"
+	"iterskew/internal/serve"
+	"iterskew/internal/timing"
+)
+
+// TestAdaptiveJob runs the adaptive meta-scheduler through the wire API and
+// checks the parts only it produces: the scheduler name echoes back, the
+// response carries a per-phase breakdown whose rounds sum to the total, and
+// the result matches an in-process run byte for byte.
+func TestAdaptiveJob(t *testing.T) {
+	d := genDesign(t, 16)
+	_, ts := newServer(t, serve.Config{})
+	up := upload(t, ts, netText(t, d))
+
+	code, data, _ := postJob(t, ts, up.Handle, serve.JobSpec{Scheduler: "adaptive", Mode: "late"})
+	if code != http.StatusOK {
+		t.Fatalf("adaptive job: HTTP %d: %s", code, data)
+	}
+	jr := decodeJob(t, data)
+	if jr.Scheduler != "adaptive" {
+		t.Fatalf("scheduler echoed as %q", jr.Scheduler)
+	}
+	if jr.StopReason == "" {
+		t.Fatal("response missing stop_reason")
+	}
+	if len(jr.Phases) == 0 {
+		t.Fatalf("adaptive response has no phase breakdown: %s", data)
+	}
+	sum := 0
+	for _, ph := range jr.Phases {
+		if ph.Name == "" || ph.Scheduler == "" || ph.StopReason == "" {
+			t.Fatalf("phase missing identity fields: %+v", ph)
+		}
+		sum += ph.Rounds
+	}
+	if sum != jr.Rounds {
+		t.Fatalf("phase rounds sum %d != job rounds %d", sum, jr.Rounds)
+	}
+	want, _ := reference(t, d, adaptive.Default, sched.Options{Mode: timing.Late}, 0)
+	sameTargets(t, jr, want)
+
+	// Non-adaptive responses must not grow the field.
+	code, data, _ = postJob(t, ts, up.Handle, serve.JobSpec{Scheduler: "core", Mode: "late"})
+	if code != http.StatusOK {
+		t.Fatalf("core job: HTTP %d: %s", code, data)
+	}
+	if jr := decodeJob(t, data); len(jr.Phases) != 0 {
+		t.Fatalf("core response carries phases: %+v", jr.Phases)
+	}
+}
+
+// TestAdaptiveSpecValidation covers the 400s: an adaptive config block on a
+// non-adaptive scheduler is rejected before any session is taken.
+func TestAdaptiveSpecValidation(t *testing.T) {
+	d := genDesign(t, 16)
+	_, ts := newServer(t, serve.Config{})
+	up := upload(t, ts, netText(t, d))
+
+	code, data, _ := postJob(t, ts, up.Handle, serve.JobSpec{
+		Scheduler: "core",
+		Adaptive:  &serve.AdaptiveSpec{ProbeRounds: 3},
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("mismatched adaptive block: HTTP %d: %s", code, data)
+	}
+	if !bytes.Contains(data, []byte("adaptive")) {
+		t.Fatalf("error does not name the problem: %s", data)
+	}
+
+	// A well-formed override block on the right scheduler works and changes
+	// the ladder (MaxProbes<0 skips every probe slice).
+	code, data, _ = postJob(t, ts, up.Handle, serve.JobSpec{
+		Scheduler: "adaptive", Mode: "late",
+		Adaptive: &serve.AdaptiveSpec{MaxProbes: -1},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("adaptive override job: HTTP %d: %s", code, data)
+	}
+	for _, ph := range decodeJob(t, data).Phases {
+		if ph.Name == "ours-early" {
+			t.Fatalf("probe phase ran despite max_probes=-1: %s", data)
+		}
+	}
+}
+
+// TestAdaptiveStreamedPhases verifies a streamed adaptive job interleaves
+// "phase" lines with the round events and that they agree with the final
+// result's breakdown.
+func TestAdaptiveStreamedPhases(t *testing.T) {
+	d := genDesign(t, 16)
+	_, ts := newServer(t, serve.Config{})
+	up := upload(t, ts, netText(t, d))
+
+	body, err := json.Marshal(serve.JobSpec{Scheduler: "adaptive", Mode: "late", Stream: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/graphs/"+up.Handle+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream job: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+		t.Fatalf("stream content type = %q", ct)
+	}
+
+	var rounds, phases int
+	var got serve.JobResponse
+	gotFinal := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Type  string `json:"type"`
+			Phase string `json:"phase"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("stream line %q: %v", line, err)
+		}
+		switch probe.Type {
+		case "round":
+			rounds++
+		case "phase":
+			phases++
+			if probe.Phase == "" {
+				t.Fatalf("phase event without a phase name: %s", line)
+			}
+		case "result":
+			if err := json.Unmarshal(line, &got); err != nil {
+				t.Fatal(err)
+			}
+			gotFinal = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !gotFinal {
+		t.Fatal("stream never produced the result line")
+	}
+	if phases == 0 || phases != len(got.Phases) {
+		t.Fatalf("streamed %d phase events, result reports %d phases", phases, len(got.Phases))
+	}
+	if rounds != got.Rounds {
+		t.Fatalf("streamed %d round events for %d rounds", rounds, got.Rounds)
+	}
+}
